@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 3: convergence with a single error in x."""
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_single_error_convergence(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_fig3, kwargs=dict(config=bench_config, matrix="thermal2",
+                              inject_fraction=0.4, page=3),
+        rounds=1, iterations=1)
+    print()
+    print(format_fig3(result))
+
+    times = result.final_times
+    ideal = times["Ideal"]
+    # Exact forward recovery continues with (nearly) the ideal convergence.
+    assert times["FEIR"] <= 1.25 * ideal
+    assert times["AFEIR"] <= 1.25 * ideal
+    assert times["AFEIR"] <= times["FEIR"] * 1.05
+    # The restart/rollback methods pay for the lost Krylov subspace.
+    assert times["Lossy"] > times["AFEIR"]
+    assert times["ckpt"] > times["AFEIR"]
+    # Every method still reaches the convergence threshold.
+    for method, history in result.histories.items():
+        assert history.final_residual <= 1e-8, method

@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 5: MPI+OmpSs scaling of the resilient CGs."""
+
+import os
+
+from repro.experiments.fig5 import PAPER_FIG5_1024, format_fig5, run_fig5
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def test_fig5_scaling(benchmark):
+    kwargs = dict(core_counts=(64, 128, 256, 512, 1024), error_counts=(1, 2),
+                  calibration_points=24 if FULL else 16,
+                  target_points=512)
+    result = benchmark.pedantic(run_fig5, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(format_fig5(result))
+
+    # The ideal CG keeps a healthy parallel efficiency at 1024 cores
+    # (paper: 80.17%).
+    eff = result.model.ideal_parallel_efficiency(1024)
+    assert 0.5 < eff <= 1.0
+
+    for errors in (1, 2):
+        feir = result.speedup("FEIR", 1024, errors)
+        afeir = result.speedup("AFEIR", 1024, errors)
+        lossy = result.speedup("Lossy", 1024, errors)
+        ckpt = result.speedup("ckpt", 1024, errors)
+        trivial = result.speedup("Trivial", 1024, errors)
+        ideal = result.speedup("Ideal", 1024, 0)
+        # Paper shape: exact recoveries track the ideal CG, Lossy trails
+        # them, checkpointing sits well below.
+        assert feir > ckpt
+        assert afeir > ckpt
+        assert feir > 0.5 * ideal
+        assert ckpt < ideal
+        # Speedups grow with the core count for the exact recoveries.
+        assert result.speedup("FEIR", 1024, errors) > \
+            result.speedup("FEIR", 64, errors)
+    # Reference table exists for side-by-side comparison in EXPERIMENTS.md.
+    assert PAPER_FIG5_1024[("AFEIR", 1)] == 10.01

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Table 2: fault-free overheads of every method."""
+
+from repro.experiments.table2 import PAPER_TABLE2, format_table2, run_table2
+
+
+def test_table2_overheads(benchmark, bench_config):
+    result = benchmark.pedantic(run_table2, args=(bench_config,),
+                                rounds=1, iterations=1)
+    print()
+    print(format_table2(result))
+
+    overheads = result.overheads
+    # Paper shape: the handler-only methods are free, AFEIR is cheaper than
+    # FEIR, and checkpointing dominates everything, more so at the higher
+    # checkpoint frequency.
+    assert overheads["Lossy"] == 0.0
+    assert overheads["Trivial"] == 0.0
+    assert overheads["AFEIR"] < overheads["FEIR"]
+    assert overheads["FEIR"] < overheads["ckpt-1000"]
+    assert overheads["ckpt-1000"] < overheads["ckpt-200"]
+    # FEIR's fault-free cost stays in the single-digit-percent range
+    # (paper: 2.73%).
+    assert overheads["FEIR"] < 10.0
+    assert set(PAPER_TABLE2) == set(overheads)

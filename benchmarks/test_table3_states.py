@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 3: per-state time increase of FEIR/AFEIR."""
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3_state_breakdown(benchmark, bench_config):
+    result = benchmark.pedantic(run_table3, args=(bench_config,),
+                                rounds=1, iterations=1)
+    print()
+    print(format_table3(result))
+
+    feir = result.increases["FEIR"]
+    afeir = result.increases["AFEIR"]
+    # Paper shape: placing the recovery tasks in the critical path makes
+    # FEIR's load imbalance grow much more than AFEIR's, while both pay a
+    # comparable runtime (task-management) overhead.
+    assert feir["imbalance"] > afeir["imbalance"]
+    assert feir["runtime"] > 0.0
+    assert afeir["runtime"] > 0.0
+    assert afeir["imbalance"] >= 0.0

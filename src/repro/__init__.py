@@ -1,0 +1,74 @@
+"""repro — reproduction of "Exploiting Asynchrony from Exact Forward Recovery
+for DUE in Iterative Solvers" (Jaulmes et al., SC 2015).
+
+The package provides:
+
+* page-blocked Krylov solvers (CG, PCG, BiCGStab, GMRES) and a
+  task-decomposed resilient CG (:class:`repro.solvers.ResilientCG`),
+* the forward exact interpolation recoveries FEIR and AFEIR, plus the
+  Lossy Restart, checkpoint/rollback and trivial baselines
+  (:mod:`repro.core`),
+* a software-paged memory + DUE fault-injection substrate
+  (:mod:`repro.memory`, :mod:`repro.faults`),
+* a deterministic discrete-event task runtime standing in for OmpSs
+  (:mod:`repro.runtime`) and a simulated MPI layer (:mod:`repro.distributed`),
+* workload generators (:mod:`repro.matrices`), preconditioners
+  (:mod:`repro.precond`) and experiment drivers reproducing every table
+  and figure of the paper's evaluation (:mod:`repro.experiments`).
+
+Quick start::
+
+    import numpy as np
+    from repro import ResilientCG, SolverConfig, make_strategy
+    from repro.matrices import poisson_2d_5pt
+    from repro.matrices.stencil import stencil_rhs
+
+    A = poisson_2d_5pt(64)
+    b = stencil_rhs(A)
+    solver = ResilientCG(A, b, strategy=make_strategy("FEIR"),
+                         config=SolverConfig(num_workers=8))
+    result = solver.solve()
+    print(result.record.summary())
+"""
+
+from repro.config import PAGE_BYTES, PAGE_DOUBLES
+from repro.core import (AFEIRStrategy, CheckpointStrategy, FEIRStrategy,
+                        LossyRestartStrategy, RecoveryStrategy, TrivialStrategy,
+                        make_strategy)
+from repro.faults import ErrorScenario, single_error_scenario
+from repro.memory import MemoryManager, PagedVector
+from repro.precond import (BlockJacobiPreconditioner, IdentityPreconditioner,
+                           JacobiPreconditioner)
+from repro.runtime import CostModel
+from repro.solvers import (ResilientCG, SolverConfig, bicgstab,
+                           conjugate_gradient, gmres,
+                           preconditioned_conjugate_gradient)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AFEIRStrategy",
+    "BlockJacobiPreconditioner",
+    "CheckpointStrategy",
+    "CostModel",
+    "ErrorScenario",
+    "FEIRStrategy",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "LossyRestartStrategy",
+    "MemoryManager",
+    "PAGE_BYTES",
+    "PAGE_DOUBLES",
+    "PagedVector",
+    "RecoveryStrategy",
+    "ResilientCG",
+    "SolverConfig",
+    "TrivialStrategy",
+    "bicgstab",
+    "conjugate_gradient",
+    "gmres",
+    "make_strategy",
+    "preconditioned_conjugate_gradient",
+    "single_error_scenario",
+    "__version__",
+]

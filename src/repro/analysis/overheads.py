@@ -1,0 +1,37 @@
+"""Overhead / slowdown / speedup computations."""
+
+from __future__ import annotations
+
+
+def overhead_percent(resilient_time: float, ideal_time: float) -> float:
+    """Extra execution time of a resilient run versus the ideal run, in %.
+
+    This is the quantity of Table 2 and the y-axis of Figure 4 ("a
+    slowdown close to 0 means the resilient CG converges at a speed
+    close to that of the ideal one").
+    """
+    if ideal_time <= 0:
+        raise ValueError("ideal time must be positive")
+    if resilient_time < 0:
+        raise ValueError("resilient time cannot be negative")
+    return 100.0 * (resilient_time - ideal_time) / ideal_time
+
+
+#: The paper uses "overhead" and "performance slowdown" interchangeably.
+slowdown_percent = overhead_percent
+
+
+def speedup(time_reference: float, time_parallel: float) -> float:
+    """Classical speedup of a parallel run versus a reference run."""
+    if time_parallel <= 0:
+        raise ValueError("parallel time must be positive")
+    if time_reference <= 0:
+        raise ValueError("reference time must be positive")
+    return time_reference / time_parallel
+
+
+def parallel_efficiency(speedup_value: float, core_ratio: float) -> float:
+    """Parallel efficiency = speedup / (cores / reference cores)."""
+    if core_ratio <= 0:
+        raise ValueError("core ratio must be positive")
+    return speedup_value / core_ratio

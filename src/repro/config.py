@@ -1,0 +1,32 @@
+"""Global configuration constants for the reproduction.
+
+The paper's error model operates at memory-page granularity: a DUE makes
+the OS discard a whole 4 KiB page, i.e. 512 double-precision values
+(Section 2.3 of the paper).  All page-blocked data structures, recovery
+relations and fault injectors in this package share these constants.
+"""
+
+from __future__ import annotations
+
+#: Number of float64 values per memory page (4096 bytes / 8 bytes).
+PAGE_DOUBLES: int = 512
+
+#: Bytes per memory page.
+PAGE_BYTES: int = PAGE_DOUBLES * 8
+
+#: Default convergence threshold used throughout the paper's evaluation
+#: (relative residual ||Ax - b|| / ||b||, Section 5.4).
+DEFAULT_TOLERANCE: float = 1e-10
+
+#: Default maximum iterations safeguard for solvers.
+DEFAULT_MAX_ITERATIONS: int = 20_000
+
+#: Default seed so experiments are reproducible run-to-run.
+DEFAULT_SEED: int = 20150715
+
+#: Default number of workers, matching the paper's single-socket setup
+#: (Intel Xeon E5-2670, 8 cores, Section 5.1).
+DEFAULT_WORKERS: int = 8
+
+#: Names of the dynamic (protected, fault-injectable) CG vectors.
+PROTECTED_CG_VECTORS = ("x", "g", "d0", "d1", "q")

@@ -1,0 +1,52 @@
+"""Recovery methods for Detected and Uncorrected Errors (DUE).
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.relations` — the block redundancy relations of
+  Table 1, usable for any iterative solver.
+* :mod:`repro.core.interpolation` — exact forward interpolation of a
+  lost block (direct diagonal-block solve, least-squares fallback and
+  the coupled multi-block solve of Section 2.4).
+* :mod:`repro.core.feir` / :mod:`repro.core.afeir` — the Forward Exact
+  Interpolation Recovery, with recovery tasks in the critical path
+  (FEIR) or overlapped with reductions (AFEIR).
+* :mod:`repro.core.lossy` — the Lossy Restart adapted from Langou et
+  al., plus the A-norm optimality property proved in Section 4.3.
+* :mod:`repro.core.checkpoint` — checkpoint/rollback with the optimal
+  checkpointing interval.
+* :mod:`repro.core.trivial` — trivial forward recovery (blank page,
+  keep going).
+"""
+
+from repro.core.afeir import AFEIRStrategy
+from repro.core.checkpoint import CheckpointStrategy, optimal_checkpoint_interval
+from repro.core.feir import FEIRStrategy
+from repro.core.interpolation import (exact_block_interpolation,
+                                      least_squares_interpolation,
+                                      coupled_block_interpolation)
+from repro.core.lossy import LossyRestartStrategy, lossy_interpolate
+from repro.core.manager import STRATEGY_NAMES, make_strategy
+from repro.core.relations import (LinearCombinationRelation, MatVecRelation,
+                                  ResidualRelation)
+from repro.core.strategy import RecoveryStrategy, RecoveryStats
+from repro.core.trivial import TrivialStrategy
+
+__all__ = [
+    "AFEIRStrategy",
+    "CheckpointStrategy",
+    "FEIRStrategy",
+    "LinearCombinationRelation",
+    "LossyRestartStrategy",
+    "MatVecRelation",
+    "RecoveryStats",
+    "RecoveryStrategy",
+    "ResidualRelation",
+    "STRATEGY_NAMES",
+    "TrivialStrategy",
+    "coupled_block_interpolation",
+    "exact_block_interpolation",
+    "least_squares_interpolation",
+    "lossy_interpolate",
+    "make_strategy",
+    "optimal_checkpoint_interval",
+]

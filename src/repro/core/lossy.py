@@ -1,0 +1,135 @@
+"""The Lossy Restart (Section 4.3), adapted from Langou et al.'s Lossy Approach.
+
+When part of the iterate ``x`` is lost, a block-Jacobi step interpolates
+a replacement from the constant data and the surviving parts of ``x``:
+
+    ``A_ii x_i = b_i - sum_{j != i} A_ij x_j``
+
+(this is the iterate relation of Table 1 *with the residual discarded*).
+After the interpolation the residual is outdated, so the Krylov method
+must restart from the interpolated iterate.  Losses in any other dynamic
+vector are handled by restarting with the intact iterate.
+
+The module also provides the quantities used by the theorems of
+Section 4.3: the A-norm of the error and the interpolation operator, so
+the property-based tests can check
+
+* Theorem 1/2: the interpolation does not increase ``||e||_A`` (SPD case);
+* Theorem 3: it *minimises* ``||e||_A`` over all possible values of the
+  lost block — the paper's new contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.strategy import RecoveryOutcome, RecoveryStrategy
+from repro.matrices.blocked import PageBlockedMatrix
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+# ----------------------------------------------------------------------
+# pure functions (used by the strategy and by the theorem tests)
+# ----------------------------------------------------------------------
+def lossy_interpolate(blocked: PageBlockedMatrix, b: np.ndarray, x: np.ndarray,
+                      pages: Sequence[int]) -> np.ndarray:
+    """Block-Jacobi interpolation of the lost ``pages`` of the iterate.
+
+    Returns a new iterate equal to ``x`` outside the lost pages and to
+    ``A_ii^{-1} (b_i - sum_{j != i} A_ij x_j)`` on each lost page.  The
+    contents of ``x`` on the lost pages are ignored (they are gone).
+    """
+    pages = sorted(set(int(p) for p in pages))
+    if not pages:
+        return np.array(x, copy=True)
+    x_new = np.array(x, copy=True)
+    # Zero the lost pages first so their (meaningless) contents do not
+    # leak into the off-diagonal products of *other* lost pages.
+    for page in pages:
+        x_new[blocked.block_slice(page)] = 0.0
+    interpolated = {}
+    for page in pages:
+        sl = blocked.block_slice(page)
+        rhs = b[sl] - blocked.offdiag_product(page, x_new)
+        interpolated[page] = blocked.solve_diag(page, rhs)
+    for page, values in interpolated.items():
+        x_new[blocked.block_slice(page)] = values
+    return x_new
+
+
+def a_norm(A: sp.spmatrix, v: np.ndarray) -> float:
+    """``sqrt(v^T A v)`` — the energy norm used by Theorems 2 and 3."""
+    value = float(v @ (A @ v))
+    # Guard against tiny negative values from round-off on SPD matrices.
+    return float(np.sqrt(max(value, 0.0)))
+
+
+def interpolation_error_norm(A: sp.spmatrix, blocked: PageBlockedMatrix,
+                             b: np.ndarray, x_true: np.ndarray,
+                             x_damaged: np.ndarray,
+                             pages: Sequence[int]) -> Tuple[float, float]:
+    """A-norms of the error before and after the lossy interpolation.
+
+    Returns ``(||x* - x||_A, ||x* - x_I||_A)`` where ``x`` is the damaged
+    iterate and ``x_I`` the interpolated one.  Used to validate
+    Theorems 2 and 3 experimentally.
+    """
+    x_interp = lossy_interpolate(blocked, b, x_damaged, pages)
+    e_before = x_true - x_damaged
+    e_after = x_true - x_interp
+    return a_norm(A, e_before), a_norm(A, e_after)
+
+
+# ----------------------------------------------------------------------
+# strategy
+# ----------------------------------------------------------------------
+class LossyRestartStrategy(RecoveryStrategy):
+    """Lossy Restart: block-Jacobi interpolation of ``x`` plus a restart.
+
+    The restart itself (recomputing ``g = b - A x`` and resetting the
+    search direction) is performed by the solver when the outcome's
+    ``restart_required`` flag is set; the strategy only fixes the iterate.
+    """
+
+    name = "Lossy"
+    uses_recovery_tasks = False
+    recovery_in_critical_path = False
+
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.cost_model = cost_model
+
+    def handle_lost_pages(self, state, lost: List[Tuple[str, int]],
+                          iteration: int) -> RecoveryOutcome:
+        outcome = RecoveryOutcome()
+        if not lost:
+            return outcome
+        x_pages = sorted({page for vector, page in lost if vector == "x"})
+        other = [(vector, page) for vector, page in lost if vector != "x"]
+
+        if x_pages:
+            x_vec = state.vectors["x"]
+            interpolated = lossy_interpolate(state.blocked, state.b,
+                                             x_vec.array, x_pages)
+            x_vec.fill_from(interpolated)
+            for page in x_pages:
+                state.memory.mark_recovered("x", page)
+                outcome.recovered.append(("x", page))
+                outcome.work_time += self.cost_model.block_solve(
+                    state.blocked.block_size(page),
+                    factorized=state.blocked.has_cached_factor(page))
+                outcome.work_time += self.cost_model.spmv_block(
+                    state.blocked.nnz_of_block(page))
+
+        # Non-iterate losses: the data will be rebuilt by the restart
+        # (g recomputed, d reset to the new residual, q recomputed), so the
+        # pages are simply blanked here.
+        for vector, page in other:
+            state.vectors[vector].zero_page(page)
+            state.memory.mark_recovered(vector, page)
+            outcome.recovered.append((vector, page))
+
+        outcome.restart_required = True
+        return outcome

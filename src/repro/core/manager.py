@@ -1,0 +1,47 @@
+"""Strategy factory and registry."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.afeir import AFEIRStrategy
+from repro.core.checkpoint import CheckpointStrategy
+from repro.core.feir import FEIRStrategy
+from repro.core.lossy import LossyRestartStrategy
+from repro.core.strategy import RecoveryStrategy
+from repro.core.trivial import TrivialStrategy
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+#: Canonical method names, in the order the paper's figures list them.
+STRATEGY_NAMES = ("AFEIR", "FEIR", "Lossy", "ckpt", "Trivial")
+
+
+def make_strategy(name: str, *, cost_model: CostModel = DEFAULT_COST_MODEL,
+                  checkpoint_interval: Optional[int] = None) -> RecoveryStrategy:
+    """Build a recovery strategy by its paper name (case-insensitive).
+
+    ``checkpoint_interval`` only applies to the checkpointing method; when
+    omitted the solver configures the optimal interval from the error
+    rate (Section 5.4).
+    """
+    key = name.strip().lower()
+    if key == "feir":
+        return FEIRStrategy(cost_model=cost_model)
+    if key == "afeir":
+        return AFEIRStrategy(cost_model=cost_model)
+    if key in ("lossy", "lossy restart", "lossy-restart"):
+        return LossyRestartStrategy(cost_model=cost_model)
+    if key in ("ckpt", "checkpoint", "checkpointing", "checkpoint-rollback"):
+        return CheckpointStrategy(interval=checkpoint_interval,
+                                  cost_model=cost_model)
+    if key == "trivial":
+        return TrivialStrategy()
+    raise ValueError(f"unknown recovery strategy {name!r}; "
+                     f"known strategies: {', '.join(STRATEGY_NAMES)}")
+
+
+def all_strategies(cost_model: CostModel = DEFAULT_COST_MODEL
+                   ) -> Dict[str, RecoveryStrategy]:
+    """One instance of every method, keyed by canonical name."""
+    return {name: make_strategy(name, cost_model=cost_model)
+            for name in STRATEGY_NAMES}

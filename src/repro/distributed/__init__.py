@@ -1,0 +1,28 @@
+"""Simulated distributed-memory (MPI + tasks) layer for the scaling study.
+
+The paper's Section 5.5 runs a hybrid MPI + OmpSs CG on 64 to 1024 cores
+of MareNostrum (one MPI rank per 8-core socket) solving a 27-point
+stencil Poisson problem, and reports speedups for the five resilience
+methods under one and two injected errors per run.
+
+Real MPI is not available offline (and pure Python could not exercise it
+meaningfully anyway), so this package models the distributed execution
+analytically on top of the same cost model used by the single-node
+runtime: per-rank strip partitions, neighbour halo exchanges whose
+volume follows the stencil bandwidth, and tree allreduces for the CG
+scalars.  The per-iteration numerical behaviour (how many extra
+iterations a restart costs, how long a recovery takes) is taken from the
+single-node machinery, so the speedup curves reflect the same trade-offs
+the paper measures.
+"""
+
+from repro.distributed.partition import StripPartition
+from repro.distributed.comm import CommunicationModel
+from repro.distributed.cluster import ClusterModel, ScalingResult
+
+__all__ = [
+    "ClusterModel",
+    "CommunicationModel",
+    "ScalingResult",
+    "StripPartition",
+]

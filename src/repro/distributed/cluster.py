@@ -1,0 +1,212 @@
+"""Cluster-scale model for the Figure 5 scaling study.
+
+The model is a hybrid:
+
+* *iteration counts* per method and error count come from real runs of
+  the single-node :class:`~repro.solvers.ResilientCG` machinery on a
+  small 27-point Poisson problem (so restart penalties, rollback losses
+  and exact-recovery behaviour are measured, not guessed);
+* *per-iteration time* at the target problem size (the paper's 512^3
+  unknowns) and rank count is computed analytically from the cost model:
+  per-rank roofline compute over 8 worker cores, strip-partition halo
+  exchange, and two tree allreduces per iteration, plus each method's
+  fault-free per-iteration overhead (recovery-task barriers for FEIR,
+  checkpoint writes for the checkpointing method);
+* per-error costs (recovery solves, signal servicing, rollback reads)
+  are added on top, in or out of the critical path depending on the
+  method.
+
+Speedups are reported relative to the ideal CG on the smallest core
+count (64 cores = 8 ranks), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.manager import STRATEGY_NAMES, make_strategy
+from repro.distributed.comm import CommunicationModel
+from repro.faults.scenarios import ErrorScenario, multi_error_scenario
+from repro.faults.injector import Injection
+from repro.matrices.stencil import poisson_3d_27pt, stencil_rhs
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.solvers.resilient_cg import ResilientCG, SolverConfig
+
+
+@dataclass
+class ScalingResult:
+    """Speedup of one method at one core count and error count."""
+
+    method: str
+    cores: int
+    errors: int
+    iterations: int
+    time: float
+    speedup: float
+    parallel_efficiency: float
+
+
+@dataclass
+class ClusterModel:
+    """Analytic MPI+tasks scaling model calibrated on small-problem runs."""
+
+    #: Unknowns per dimension of the *target* problem (the paper uses 512).
+    target_points: int = 512
+    #: Unknowns per dimension of the small problem used to measure
+    #: iteration counts (kept small so the model builds in seconds).
+    calibration_points: int = 24
+    workers_per_rank: int = 8
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    tolerance: float = 1e-10
+    checkpoint_interval: int = 50
+    _iteration_cache: Dict = field(default_factory=dict, repr=False)
+    _calibration: Dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # calibration runs (real numerics on the small problem)
+    # ------------------------------------------------------------------
+    def _calibrate(self) -> Dict:
+        """Measure iteration counts per (method, errors) on the small problem."""
+        if self._calibration:
+            return self._calibration
+        A = poisson_3d_27pt(self.calibration_points)
+        b = stencil_rhs(A)
+        cfg = SolverConfig(num_workers=self.workers_per_rank, page_size=128,
+                           tolerance=self.tolerance, record_history=False)
+        ideal = ResilientCG(A, b, config=cfg).solve()
+        tau = ideal.record.solve_time
+        pages = ResilientCG(A, b, config=cfg).blocked.num_blocks
+        results: Dict = {"ideal": {0: ideal.record.iterations,
+                                   1: ideal.record.iterations,
+                                   2: ideal.record.iterations}}
+        for name in STRATEGY_NAMES:
+            per_error: Dict[int, int] = {}
+            for errors in (0, 1, 2):
+                if errors == 0:
+                    scenario: Optional[ErrorScenario] = None
+                else:
+                    # Errors hit pages of the iterate at evenly spread times,
+                    # mirroring the paper's "1 and 2 errors per run".
+                    injections = [Injection(time=tau * (k + 1) / (errors + 1),
+                                            vector="x",
+                                            page=(7 * (k + 1)) % max(pages, 1))
+                                  for k in range(errors)]
+                    scenario = multi_error_scenario(injections,
+                                                    name=f"{name}-{errors}err")
+                strategy = make_strategy(
+                    name, cost_model=self.cost_model,
+                    checkpoint_interval=self.checkpoint_interval)
+                solver = ResilientCG(A, b, strategy=strategy, scenario=scenario,
+                                     config=cfg)
+                record = solver.solve(ideal_time=tau).record
+                per_error[errors] = max(record.iterations, 1)
+            results[name] = per_error
+        self._calibration = results
+        return results
+
+    # ------------------------------------------------------------------
+    # analytic per-iteration time at the target scale
+    # ------------------------------------------------------------------
+    def _target_rows(self) -> int:
+        return self.target_points ** 3
+
+    def iteration_time(self, num_ranks: int, method: str = "ideal") -> float:
+        """Per-iteration wall time of the hybrid CG at the target scale."""
+        key = (num_ranks, method)
+        if key in self._iteration_cache:
+            return self._iteration_cache[key]
+        cm = self.cost_model
+        comm = CommunicationModel(cm)
+        n = self._target_rows()
+        rows = n / num_ranks
+        nnz = 27.0 * rows
+        # Local compute of one iteration (spmv + 3 axpy + 2 dots), spread over
+        # the rank's worker cores.
+        flops = 2.0 * nnz + 5.0 * 2.0 * rows
+        bytes_moved = 12.0 * nnz + 10.0 * 8.0 * rows
+        compute = cm.kernel_time(flops, bytes_moved) / self.workers_per_rank
+        # Halo: two grid planes of the strip partition.
+        halo_entries = 2.0 * self.target_points ** 2
+        neighbours = 2 if num_ranks > 2 else 1
+        halo = comm.halo_exchange(int(halo_entries), neighbours)
+        reductions = 2.0 * comm.allreduce(num_ranks)
+        # Task runtime overhead: ~6 strip-mined task groups per iteration.
+        runtime = 6.0 * cm.task_overhead
+        time = compute + halo + reductions + runtime
+        # Method-specific fault-free per-iteration overhead.
+        if method == "FEIR":
+            time += 3.0 * (cm.task_overhead + cm.recovery_check())
+        elif method == "AFEIR":
+            time += 1.0 * cm.task_overhead
+        elif method == "ckpt":
+            volume = 2.0 * 8.0 * rows
+            time += cm.checkpoint_write(volume) / self.checkpoint_interval
+        self._iteration_cache[key] = time
+        return time
+
+    def _per_error_cost(self, method: str, num_ranks: int) -> float:
+        """Critical-path time added by servicing one DUE at the target scale."""
+        cm = self.cost_model
+        service = 0.5e-3
+        block = cm.block_solve(512, factorized=False)
+        if method == "FEIR":
+            return service + block
+        if method == "AFEIR":
+            return service          # recovery overlapped with computation
+        if method == "Lossy":
+            # Interpolation plus the restart's full residual recomputation.
+            return service + block + self.iteration_time(num_ranks, "ideal")
+        if method == "ckpt":
+            rows = self._target_rows() / num_ranks
+            return service + cm.checkpoint_read(2.0 * 8.0 * rows)
+        if method == "Trivial":
+            return service
+        return service
+
+    # ------------------------------------------------------------------
+    # the actual scaling sweep
+    # ------------------------------------------------------------------
+    def run(self, core_counts: Sequence[int] = (64, 128, 256, 512, 1024),
+            error_counts: Sequence[int] = (1, 2),
+            methods: Sequence[str] = STRATEGY_NAMES) -> List[ScalingResult]:
+        """Produce the Figure 5 dataset: speedups per method/cores/errors."""
+        calibration = self._calibrate()
+        results: List[ScalingResult] = []
+        ref_cores = min(core_counts)
+        ref_ranks = max(1, ref_cores // self.workers_per_rank)
+        ref_time = (calibration["ideal"][0]
+                    * self.iteration_time(ref_ranks, "ideal"))
+        for cores in core_counts:
+            ranks = max(1, cores // self.workers_per_rank)
+            # Ideal reference at this core count.
+            ideal_time = calibration["ideal"][0] * self.iteration_time(ranks, "ideal")
+            results.append(ScalingResult(
+                method="Ideal", cores=cores, errors=0,
+                iterations=calibration["ideal"][0], time=ideal_time,
+                speedup=ref_time / ideal_time,
+                parallel_efficiency=(ref_time / ideal_time)
+                / (cores / ref_cores)))
+            for errors in error_counts:
+                for method in methods:
+                    iterations = calibration[method][errors]
+                    time = iterations * self.iteration_time(ranks, method)
+                    time += errors * self._per_error_cost(method, ranks)
+                    speedup = ref_time / time
+                    results.append(ScalingResult(
+                        method=method, cores=cores, errors=errors,
+                        iterations=iterations, time=time, speedup=speedup,
+                        parallel_efficiency=speedup / (cores / ref_cores)))
+        return results
+
+    def ideal_parallel_efficiency(self, cores: int,
+                                  reference_cores: int = 64) -> float:
+        """Parallel efficiency of the ideal CG at ``cores`` (paper: 80.17%)."""
+        ranks = max(1, cores // self.workers_per_rank)
+        ref_ranks = max(1, reference_cores // self.workers_per_rank)
+        ref = self.iteration_time(ref_ranks, "ideal")
+        cur = self.iteration_time(ranks, "ideal")
+        return (ref / cur) / (cores / reference_cores)

@@ -1,0 +1,48 @@
+"""Inter-rank communication cost model (halo exchange, allreduce)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Latency/bandwidth model of the cluster interconnect.
+
+    The defaults are loosely based on MareNostrum-3 era InfiniBand FDR10
+    (the machine of Section 5.5): microsecond-scale latency, a few GB/s
+    of per-link bandwidth.
+    """
+
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+    def halo_exchange(self, halo_entries: int, num_neighbours: int) -> float:
+        """Time for one rank to exchange its halo with its neighbours.
+
+        Each neighbour exchange is one message pair; messages to different
+        neighbours are assumed to overlap, so the cost is dominated by the
+        largest per-neighbour share plus one latency per neighbour.
+        """
+        if halo_entries < 0 or num_neighbours < 0:
+            raise ValueError("halo size and neighbour count must be >= 0")
+        if num_neighbours == 0 or halo_entries == 0:
+            return 0.0
+        bytes_per_neighbour = 8.0 * halo_entries / num_neighbours
+        return (num_neighbours * self.cost_model.network_latency
+                + bytes_per_neighbour / self.cost_model.network_bandwidth)
+
+    def allreduce(self, num_ranks: int, values: int = 1) -> float:
+        """Tree allreduce of ``values`` doubles across ``num_ranks`` ranks."""
+        if num_ranks <= 1:
+            return 0.0
+        return self.cost_model.allreduce(8.0 * values, num_ranks)
+
+    def broadcast(self, num_ranks: int, num_bytes: float) -> float:
+        """Tree broadcast (used for initial data distribution, not timed in CG)."""
+        if num_ranks <= 1:
+            return 0.0
+        stages = math.ceil(math.log2(num_ranks))
+        return stages * self.cost_model.message(num_bytes)

@@ -1,0 +1,83 @@
+"""Row-wise strip partitioning of the linear system across ranks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class RankPartition:
+    """Rows owned by one rank and the halo it needs from its neighbours."""
+
+    rank: int
+    row_start: int
+    row_stop: int
+    #: Number of remote vector entries this rank reads during A*d.
+    halo_size: int
+    #: Ranks this one exchanges halos with.
+    neighbours: Tuple[int, ...]
+    #: Nonzeros in the local block of rows.
+    local_nnz: int
+
+    @property
+    def local_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+
+class StripPartition:
+    """Partition a sparse matrix into contiguous row strips, one per rank.
+
+    The halo of a rank is the set of column indices referenced by its rows
+    that fall outside its own row range — exactly the entries of the
+    search direction ``p`` that the paper's "exchange task" communicates
+    every iteration (Section 3.4).
+    """
+
+    def __init__(self, A: sp.spmatrix, num_ranks: int):
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        A = sp.csr_matrix(A)
+        n = A.shape[0]
+        if num_ranks > n:
+            raise ValueError(f"cannot split {n} rows over {num_ranks} ranks")
+        self.A = A
+        self.n = n
+        self.num_ranks = num_ranks
+        bounds = np.linspace(0, n, num_ranks + 1).astype(int)
+        self._partitions: List[RankPartition] = []
+        for rank in range(num_ranks):
+            start, stop = int(bounds[rank]), int(bounds[rank + 1])
+            sub = A[start:stop, :]
+            cols = sub.indices
+            remote = cols[(cols < start) | (cols >= stop)]
+            halo = int(np.unique(remote).size)
+            neighbour_ranks = sorted({int(np.searchsorted(bounds, c, side="right") - 1)
+                                      for c in np.unique(remote)})
+            self._partitions.append(RankPartition(
+                rank=rank, row_start=start, row_stop=stop, halo_size=halo,
+                neighbours=tuple(r for r in neighbour_ranks if r != rank),
+                local_nnz=int(sub.nnz)))
+
+    def partition(self, rank: int) -> RankPartition:
+        if not 0 <= rank < self.num_ranks:
+            raise IndexError(f"rank {rank} out of range")
+        return self._partitions[rank]
+
+    @property
+    def partitions(self) -> List[RankPartition]:
+        return list(self._partitions)
+
+    def max_halo(self) -> int:
+        return max(p.halo_size for p in self._partitions)
+
+    def max_local_nnz(self) -> int:
+        return max(p.local_nnz for p in self._partitions)
+
+    def load_imbalance(self) -> float:
+        """Ratio of the heaviest rank's nnz to the average (1.0 = balanced)."""
+        nnzs = [p.local_nnz for p in self._partitions]
+        return max(nnzs) / (sum(nnzs) / len(nnzs))

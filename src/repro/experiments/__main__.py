@@ -1,0 +1,72 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table2
+    python -m repro.experiments fig4 --quick
+    python -m repro.experiments all --quick
+
+``--quick`` uses a reduced matrix/rate grid (the same one the default
+benchmark harness uses); without it the full nine-matrix sweep runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+QUICK_MATRICES = ("qa8fm", "Dubcova3", "consph", "thermomech")
+QUICK_RATES = (1.0, 10.0, 50.0)
+EXPERIMENTS = ("table2", "table3", "fig3", "fig4", "fig5")
+
+
+def make_config(quick: bool) -> ExperimentConfig:
+    if quick:
+        return ExperimentConfig(matrices=QUICK_MATRICES, repetitions=1,
+                                max_iterations=6000, tolerance=1e-9)
+    return ExperimentConfig(repetitions=2)
+
+
+def run_one(name: str, quick: bool) -> str:
+    config = make_config(quick)
+    if name == "table2":
+        return format_table2(run_table2(config))
+    if name == "table3":
+        return format_table3(run_table3(config))
+    if name == "fig3":
+        return format_fig3(run_fig3(config, matrix="thermal2"))
+    if name == "fig4":
+        rates = QUICK_RATES if quick else None
+        result = run_fig4(config, rates=rates) if rates else run_fig4(config)
+        return format_fig4(result)
+    if name == "fig5":
+        return format_fig5(run_fig5(calibration_points=16 if quick else 24))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the SC'15 paper.")
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced matrix/rate grid")
+    args = parser.parse_args(argv)
+
+    targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in targets:
+        print(f"\n=== {name} ===")
+        print(run_one(name, args.quick))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

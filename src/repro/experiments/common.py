@@ -1,0 +1,129 @@
+"""Shared configuration and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis.convergence import ConvergenceRecord
+from repro.config import DEFAULT_SEED
+from repro.core.manager import STRATEGY_NAMES, make_strategy
+from repro.faults.scenarios import ErrorScenario
+from repro.matrices.suite import PAPER_MATRICES, MatrixInfo
+from repro.matrices.stencil import stencil_rhs
+from repro.precond.block_jacobi import BlockJacobiPreconditioner
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.solvers.resilient_cg import ResilientCG, SolveResult, SolverConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers.
+
+    The defaults are chosen so the full Figure 4 sweep runs in minutes on
+    a laptop while keeping the page-to-vector geometry (tens of pages per
+    vector) representative of the paper's setup.
+    """
+
+    num_workers: int = 8
+    #: Page size used by the scaled-down experiments.  The paper's
+    #: hardware page holds 512 doubles; with the scaled-down matrices we
+    #: shrink the page proportionally so each vector still spans tens of
+    #: pages (see DESIGN.md, substitution table).
+    page_size: int = 128
+    work_scale: float = 200.0
+    tolerance: float = 1e-10
+    max_iterations: int = 20000
+    seed: int = DEFAULT_SEED
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    matrices: Sequence[str] = tuple(PAPER_MATRICES)
+    methods: Sequence[str] = STRATEGY_NAMES
+    repetitions: int = 2
+    preconditioned: bool = False
+    checkpoint_interval: Optional[int] = None
+
+    def solver_config(self) -> SolverConfig:
+        return SolverConfig(tolerance=self.tolerance,
+                            max_iterations=self.max_iterations,
+                            num_workers=self.num_workers,
+                            page_size=self.page_size,
+                            cost_model=self.cost_model,
+                            work_scale=self.work_scale,
+                            record_history=True)
+
+
+@dataclass
+class MethodRun:
+    """One (matrix, method, scenario) run plus its baseline comparison."""
+
+    matrix: str
+    method: str
+    scenario: str
+    result: SolveResult
+    ideal_time: float
+
+    @property
+    def record(self) -> ConvergenceRecord:
+        return self.result.record
+
+    @property
+    def overhead_percent(self) -> float:
+        if self.ideal_time <= 0:
+            raise ValueError("ideal time must be positive")
+        return 100.0 * (self.result.solve_time - self.ideal_time) / self.ideal_time
+
+
+def build_problem(name: str, config: ExperimentConfig
+                  ) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Matrix + right-hand side for one suite entry."""
+    info: MatrixInfo = PAPER_MATRICES[name]
+    A = info.build()
+    b = stencil_rhs(A, kind="random", seed=config.seed)
+    return A, b
+
+
+def make_solver(A: sp.spmatrix, b: np.ndarray, method: Optional[str],
+                scenario: Optional[ErrorScenario],
+                config: ExperimentConfig, matrix_name: str = "") -> ResilientCG:
+    """Construct a :class:`ResilientCG` for one experiment cell."""
+    strategy = None
+    if method is not None:
+        strategy = make_strategy(method, cost_model=config.cost_model,
+                                 checkpoint_interval=config.checkpoint_interval)
+    preconditioner = None
+    if config.preconditioned:
+        preconditioner = BlockJacobiPreconditioner(A, page_size=config.page_size)
+    return ResilientCG(A, b, strategy=strategy, preconditioner=preconditioner,
+                       scenario=scenario, config=config.solver_config(),
+                       matrix_name=matrix_name)
+
+
+def run_ideal(A: sp.spmatrix, b: np.ndarray, config: ExperimentConfig,
+              matrix_name: str = "") -> SolveResult:
+    """Fault-free, resilience-free baseline used as the "ideal CG"."""
+    return make_solver(A, b, None, None, config, matrix_name).solve()
+
+
+def run_method(A: sp.spmatrix, b: np.ndarray, method: str,
+               scenario: Optional[ErrorScenario], ideal: SolveResult,
+               config: ExperimentConfig, matrix_name: str = "") -> MethodRun:
+    """Run one resilience method against the provided baseline."""
+    solver = make_solver(A, b, method, scenario, config, matrix_name)
+    result = solver.solve(ideal_time=ideal.solve_time)
+    return MethodRun(matrix=matrix_name, method=method,
+                     scenario=scenario.name if scenario else "fault-free",
+                     result=result, ideal_time=ideal.solve_time)
+
+
+def ideal_cache(config: ExperimentConfig,
+                names: Optional[Sequence[str]] = None
+                ) -> Dict[str, Tuple[sp.csr_matrix, np.ndarray, SolveResult]]:
+    """Build and solve the ideal baseline for every requested matrix once."""
+    cache: Dict[str, Tuple[sp.csr_matrix, np.ndarray, SolveResult]] = {}
+    for name in (names if names is not None else config.matrices):
+        A, b = build_problem(name, config)
+        cache[name] = (A, b, run_ideal(A, b, config, matrix_name=name))
+    return cache

@@ -1,0 +1,84 @@
+"""Figure 5 — speedup of the MPI+OmpSs resilient CGs on 64-1024 cores.
+
+Shapes to reproduce (paper, 27-point Poisson on 512^3 unknowns):
+
+* the ideal CG reaches ~80% parallel efficiency at 1024 cores;
+* AFEIR and FEIR scale close to the ideal CG (speedups around 7.5-10 at
+  1024 cores with 1-2 errors);
+* the Lossy Restart trails them (8.2 / 4.8);
+* checkpointing and the trivial method stay below a third of the ideal
+  CG's speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.distributed.cluster import ClusterModel, ScalingResult
+
+#: Paper reference speedups on 1024 cores for quick comparison.
+PAPER_FIG5_1024 = {
+    ("AFEIR", 1): 10.01, ("AFEIR", 2): 6.03,
+    ("FEIR", 1): 7.50, ("FEIR", 2): 7.65,
+    ("Lossy", 1): 8.17, ("Lossy", 2): 4.82,
+}
+
+
+@dataclass
+class Fig5Result:
+    """Scaling results plus the model used to produce them."""
+
+    results: List[ScalingResult]
+    model: ClusterModel
+
+    def speedup(self, method: str, cores: int, errors: int) -> float:
+        for r in self.results:
+            if r.method == method and r.cores == cores and r.errors == errors:
+                return r.speedup
+        raise KeyError(f"no result for {method} at {cores} cores, "
+                       f"{errors} errors")
+
+    def by_errors(self, errors: int) -> List[ScalingResult]:
+        return [r for r in self.results
+                if r.errors == errors or r.method == "Ideal"]
+
+
+def run_fig5(core_counts: Sequence[int] = (64, 128, 256, 512, 1024),
+             error_counts: Sequence[int] = (1, 2),
+             calibration_points: int = 24,
+             target_points: int = 512,
+             model: Optional[ClusterModel] = None) -> Fig5Result:
+    """Reproduce the Figure 5 scaling study with the simulated cluster."""
+    model = model or ClusterModel(target_points=target_points,
+                                  calibration_points=calibration_points)
+    results = model.run(core_counts=core_counts, error_counts=error_counts)
+    return Fig5Result(results=results, model=model)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    """Render the speedup table (methods x cores, per error count)."""
+    cores = sorted({r.cores for r in result.results})
+    lines: List[str] = []
+    for errors in sorted({r.errors for r in result.results if r.errors > 0}):
+        rows: List[List[object]] = []
+        methods = ["Ideal"] + sorted({r.method for r in result.results
+                                      if r.method != "Ideal"})
+        for method in methods:
+            row: List[object] = [method]
+            for c in cores:
+                matches = [r for r in result.results
+                           if r.method == method and r.cores == c
+                           and (r.errors == errors or method == "Ideal")]
+                row.append(matches[0].speedup if matches else float("nan"))
+            rows.append(row)
+        lines.append(format_table(
+            ["method"] + [f"{c} cores" for c in cores], rows,
+            title=f"Figure 5: speedup w.r.t. ideal on 64 cores, "
+                  f"{errors} error(s) per run"))
+        lines.append("")
+    eff = result.model.ideal_parallel_efficiency(max(cores))
+    lines.append(f"Ideal parallel efficiency at {max(cores)} cores: "
+                 f"{100 * eff:.2f}% (paper: 80.17%)")
+    return "\n".join(lines)

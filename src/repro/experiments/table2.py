@@ -1,0 +1,87 @@
+"""Table 2 — resilience methods' overheads in the absence of faults.
+
+Paper values (harmonic means over the nine matrices):
+
+=========  ======  =======  =====  =====  =========  ========
+method     Lossy   Trivial  AFEIR  FEIR   ckpt 1K    ckpt 200
+overhead   0.00%   0.00%    0.23%  2.73%  17.62%     46.20%
+=========  ======  =======  =====  =====  =========  ========
+
+The driver runs the ideal CG plus each method with no error injection
+and reports the harmonic-mean overhead, including two fixed-interval
+checkpointing configurations (every 1000 and every 200 iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import harmonic_mean_overhead
+from repro.experiments.common import (ExperimentConfig, MethodRun, ideal_cache,
+                                      run_method)
+
+#: Paper reference numbers, used for side-by-side reporting only.
+PAPER_TABLE2 = {
+    "Lossy": 0.00, "Trivial": 0.00, "AFEIR": 0.23, "FEIR": 2.73,
+    "ckpt-1000": 17.62, "ckpt-200": 46.20,
+}
+
+
+@dataclass
+class Table2Result:
+    """Harmonic-mean fault-free overhead per method, plus raw runs."""
+
+    overheads: Dict[str, float]
+    runs: List[MethodRun]
+    config: ExperimentConfig
+
+    def as_rows(self) -> List[List[object]]:
+        rows = []
+        for method, value in self.overheads.items():
+            rows.append([method, value, PAPER_TABLE2.get(method, float("nan"))])
+        return rows
+
+
+def run_table2(config: Optional[ExperimentConfig] = None,
+               matrices: Optional[Sequence[str]] = None) -> Table2Result:
+    """Reproduce Table 2: fault-free overheads of every method."""
+    config = config or ExperimentConfig()
+    cache = ideal_cache(config, matrices)
+    methods = ["Lossy", "Trivial", "AFEIR", "FEIR"]
+    runs: List[MethodRun] = []
+    per_method: Dict[str, List[float]] = {m: [] for m in methods}
+    per_method["ckpt-1000"] = []
+    per_method["ckpt-200"] = []
+
+    for name, (A, b, ideal) in cache.items():
+        for method in methods:
+            run = run_method(A, b, method, None, ideal, config, matrix_name=name)
+            runs.append(run)
+            per_method[method].append(run.overhead_percent)
+        # The paper's fixed periods (1000 and 200 iterations) assume solves
+        # of thousands of iterations.  The scaled-down analogues converge in
+        # far fewer, so the two configurations are mapped to the equivalent
+        # checkpoint *frequencies*: roughly twice per solve ("ckpt-1000") and
+        # roughly ten times per solve ("ckpt-200").
+        iters = max(ideal.record.iterations, 1)
+        for divisor, label in ((2, "ckpt-1000"), (10, "ckpt-200")):
+            interval = max(1, iters // divisor)
+            ckpt_config = replace(config, checkpoint_interval=interval)
+            run = run_method(A, b, "ckpt", None, ideal, ckpt_config,
+                             matrix_name=name)
+            runs.append(run)
+            per_method[label].append(run.overhead_percent)
+
+    overheads = {method: harmonic_mean_overhead(values)
+                 for method, values in per_method.items()}
+    return Table2Result(overheads=overheads, runs=runs, config=config)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the reproduction next to the paper's numbers."""
+    return format_table(
+        ["method", "measured overhead %", "paper overhead %"],
+        result.as_rows(),
+        title="Table 2: resilience methods' overheads, no errors")

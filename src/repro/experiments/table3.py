@@ -1,0 +1,91 @@
+"""Table 3 — increase of time spent per state for the FEIR methods.
+
+Paper values (percentage-point increase of each state's share relative
+to the ideal CG):
+
+=======  ==========  =======  ======
+method   imbalance   runtime  useful
+=======  ==========  =======  ======
+AFEIR    4.30%       8.11%    1.90%
+FEIR     25.06%      7.84%    2.78%
+=======  ==========  =======  ======
+
+We reproduce the measurement from the execution traces of the
+discrete-event runtime: for each method and matrix, the share of
+worker-time spent idle (imbalance), in runtime overhead (task creation
+and scheduling) and executing solver tasks (useful) is compared against
+the ideal CG's shares, then averaged over matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.experiments.common import (ExperimentConfig, ideal_cache, run_method)
+
+PAPER_TABLE3 = {
+    "AFEIR": {"imbalance": 4.30, "runtime": 8.11, "useful": 1.90},
+    "FEIR": {"imbalance": 25.06, "runtime": 7.84, "useful": 2.78},
+}
+
+
+@dataclass
+class Table3Result:
+    """Mean per-state increases (percentage points, relative shares)."""
+
+    increases: Dict[str, Dict[str, float]]
+    config: ExperimentConfig
+
+    def as_rows(self) -> List[List[object]]:
+        rows = []
+        for method, states in self.increases.items():
+            paper = PAPER_TABLE3.get(method, {})
+            rows.append([method, states["imbalance"], states["runtime"],
+                         states["useful"],
+                         paper.get("imbalance", float("nan")),
+                         paper.get("runtime", float("nan")),
+                         paper.get("useful", float("nan"))])
+        return rows
+
+
+def run_table3(config: Optional[ExperimentConfig] = None,
+               matrices: Optional[Sequence[str]] = None) -> Table3Result:
+    """Reproduce Table 3: per-state time increase of FEIR and AFEIR."""
+    config = config or ExperimentConfig()
+    cache = ideal_cache(config, matrices)
+    accum: Dict[str, Dict[str, List[float]]] = {
+        "AFEIR": {"imbalance": [], "runtime": [], "useful": []},
+        "FEIR": {"imbalance": [], "runtime": [], "useful": []},
+    }
+    for name, (A, b, ideal) in cache.items():
+        base = ideal.trace.breakdown
+        base_frac = base.fractions()
+        for method in ("AFEIR", "FEIR"):
+            run = run_method(A, b, method, None, ideal, config, matrix_name=name)
+            frac = run.result.trace.breakdown.fractions()
+            # Recovery-task execution counts as runtime-side work here: it is
+            # activity the ideal run does not have, created by the runtime.
+            runtime_share = frac["runtime"] + frac["recovery"]
+            base_runtime = base_frac["runtime"] + base_frac["recovery"]
+            accum[method]["imbalance"].append(
+                100.0 * (frac["idle"] - base_frac["idle"]) / max(base_frac["idle"], 1e-9))
+            accum[method]["runtime"].append(
+                100.0 * (runtime_share - base_runtime) / max(base_runtime, 1e-9))
+            accum[method]["useful"].append(
+                100.0 * (frac["useful"] - base_frac["useful"]) / max(base_frac["useful"], 1e-9))
+    increases = {method: {state: float(np.mean(vals))
+                          for state, vals in states.items()}
+                 for method, states in accum.items()}
+    return Table3Result(increases=increases, config=config)
+
+
+def format_table3(result: Table3Result) -> str:
+    return format_table(
+        ["method", "imbalance %", "runtime %", "useful %",
+         "paper imbalance %", "paper runtime %", "paper useful %"],
+        result.as_rows(),
+        title="Table 3: increase of time spent per state (FEIR methods)")

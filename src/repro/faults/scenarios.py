@@ -1,0 +1,95 @@
+"""Error-injection scenarios used by the paper's evaluation.
+
+Two families are needed:
+
+* the Figure 4 sweep: normalised error frequencies {1, 2, 5, 10, 20, 50}
+  per matrix and method, each repeated with different seeds;
+* the Figure 3 illustration: a single error injected into a page of the
+  iterate ``x`` at a fixed fraction of the ideal solve time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_SEED
+from repro.faults.injector import ExponentialInjector, Injection, null_injector
+
+#: The normalised error frequencies of Figure 4.
+PAPER_ERROR_RATES: Tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+@dataclass
+class ErrorScenario:
+    """A reproducible description of how faults are injected in one run.
+
+    Exactly one of ``normalized_rate`` or ``fixed_injections`` drives the
+    run: a Poisson process at the given normalised rate, or a hand-picked
+    list of injections (used for the single-error convergence plot and
+    for targeted tests).
+    """
+
+    name: str = "fault-free"
+    normalized_rate: float = 0.0
+    seed: int = DEFAULT_SEED
+    fixed_injections: List[Injection] = field(default_factory=list)
+
+    def injector(self, ideal_time: float) -> ExponentialInjector:
+        """Injector realising this scenario for a solve of ``ideal_time``."""
+        if self.fixed_injections:
+            return null_injector(self.seed)
+        if self.normalized_rate <= 0:
+            return null_injector(self.seed)
+        return ExponentialInjector.from_normalized_rate(
+            self.normalized_rate, ideal_time, rng=self.seed)
+
+    def schedule(self, ideal_time: float, horizon: float,
+                 pages: Sequence[Tuple[str, int]]) -> List[Injection]:
+        """Concrete injection schedule for this scenario."""
+        if self.fixed_injections:
+            return sorted(self.fixed_injections, key=lambda inj: inj.time)
+        return self.injector(ideal_time).schedule(horizon, pages)
+
+    @property
+    def is_fault_free(self) -> bool:
+        return self.normalized_rate <= 0 and not self.fixed_injections
+
+
+def fault_free_scenario() -> ErrorScenario:
+    """The baseline scenario with no injected errors."""
+    return ErrorScenario(name="fault-free", normalized_rate=0.0)
+
+
+def normalized_rate_scenarios(rates: Sequence[float] = PAPER_ERROR_RATES,
+                              repetitions: int = 1,
+                              base_seed: int = DEFAULT_SEED) -> List[ErrorScenario]:
+    """The Figure 4 scenario grid: each rate repeated with distinct seeds."""
+    if repetitions <= 0:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    scenarios: List[ErrorScenario] = []
+    for rate in rates:
+        if rate <= 0:
+            raise ValueError(f"normalised rates must be positive, got {rate}")
+        for rep in range(repetitions):
+            scenarios.append(ErrorScenario(
+                name=f"rate{rate:g}-rep{rep}",
+                normalized_rate=float(rate),
+                seed=base_seed + 7919 * rep + int(1000 * rate)))
+    return scenarios
+
+
+def single_error_scenario(vector: str, page: int, time: float,
+                          name: Optional[str] = None) -> ErrorScenario:
+    """The Figure 3 scenario: one DUE in ``vector`` page ``page`` at ``time``."""
+    if time < 0:
+        raise ValueError(f"injection time must be non-negative, got {time}")
+    return ErrorScenario(
+        name=name or f"single-{vector}-p{page}",
+        fixed_injections=[Injection(time=time, vector=vector, page=page)])
+
+
+def multi_error_scenario(injections: Sequence[Injection],
+                         name: str = "multi") -> ErrorScenario:
+    """A scenario with an explicit list of injections (tests, ablations)."""
+    return ErrorScenario(name=name, fixed_injections=list(injections))

@@ -1,0 +1,41 @@
+"""Matrix and workload generators.
+
+The paper evaluates on nine SPD matrices from the University of Florida
+sparse matrix collection and, for the scaling study, on a 27-point
+stencil discretisation of Poisson's equation in 3-D (the HPCG operator).
+The collection is not redistributable offline, so this package provides:
+
+* exact stencil/Laplacian generators (Poisson 5/7/27-point), which are
+  the real operators for the scaling experiments, and
+* a suite of *synthetic analogues* of the nine UFL matrices
+  (:mod:`repro.matrices.suite`), SPD by construction, sized down so the
+  full 270-experiment sweep of Figure 4 is tractable on a laptop while
+  preserving the qualitative spread of conditioning and sparsity that
+  drives the paper's per-matrix differences.
+"""
+
+from repro.matrices.laplacian import laplacian_1d, laplacian_2d, laplacian_3d
+from repro.matrices.properties import (bandwidth, is_spd, is_symmetric,
+                                        nnz_per_row, spd_check)
+from repro.matrices.random_spd import random_sparse_spd
+from repro.matrices.stencil import poisson_2d_5pt, poisson_3d_7pt, poisson_3d_27pt
+from repro.matrices.suite import MatrixInfo, PAPER_MATRICES, load_suite, make_matrix
+
+__all__ = [
+    "MatrixInfo",
+    "PAPER_MATRICES",
+    "bandwidth",
+    "is_spd",
+    "is_symmetric",
+    "laplacian_1d",
+    "laplacian_2d",
+    "laplacian_3d",
+    "load_suite",
+    "make_matrix",
+    "nnz_per_row",
+    "poisson_2d_5pt",
+    "poisson_3d_7pt",
+    "poisson_3d_27pt",
+    "random_sparse_spd",
+    "spd_check",
+]

@@ -1,0 +1,96 @@
+"""Minimal Matrix Market I/O.
+
+The real evaluation pulls matrices from the UFL collection as ``.mtx``
+files.  For users who *do* have those files locally, this module reads
+and writes the coordinate Matrix Market format (symmetric or general,
+real) without any external dependency, so the suite analogues can be
+swapped for the genuine matrices without code changes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+PathLike = Union[str, Path]
+
+
+def write_matrix_market(A: sp.spmatrix, path: PathLike,
+                        symmetric: bool = None, comment: str = "") -> None:
+    """Write ``A`` in coordinate Matrix Market format."""
+    A = sp.coo_matrix(A)
+    if symmetric is None:
+        symmetric = _looks_symmetric(A)
+    field = "symmetric" if symmetric else "general"
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate real {field}\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        if symmetric:
+            mask = A.row >= A.col  # keep the lower triangle only
+            rows, cols, vals = A.row[mask], A.col[mask], A.data[mask]
+        else:
+            rows, cols, vals = A.row, A.col, A.data
+        fh.write(f"{A.shape[0]} {A.shape[1]} {len(vals)}\n")
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def read_matrix_market(path: PathLike) -> sp.csr_matrix:
+    """Read a real coordinate Matrix Market file into CSR form."""
+    path = Path(path)
+    with path.open("r") as fh:
+        return _read_stream(fh)
+
+
+def _read_stream(fh: io.TextIOBase) -> sp.csr_matrix:
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("not a MatrixMarket file (missing %%MatrixMarket header)")
+    tokens = header.strip().split()
+    if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket header: {header.strip()}")
+    field, symmetry = tokens[3], tokens[4]
+    if field not in ("real", "integer"):
+        raise ValueError(f"unsupported field type {field!r} (only real/integer)")
+    symmetric = symmetry == "symmetric"
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    nrows, ncols, nnz = (int(tok) for tok in line.split())
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for k in range(nnz):
+        parts = fh.readline().split()
+        if len(parts) < 3:
+            raise ValueError(f"truncated MatrixMarket file at entry {k}")
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        vals[k] = float(parts[2])
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    if symmetric:
+        off_diag = sp.coo_matrix(
+            (vals[rows != cols], (cols[rows != cols], rows[rows != cols])),
+            shape=(nrows, ncols))
+        A = A + off_diag
+    return A.tocsr()
+
+
+def _looks_symmetric(A: sp.coo_matrix) -> bool:
+    if A.shape[0] != A.shape[1]:
+        return False
+    diff = (A - A.T).tocsr()
+    if diff.nnz == 0:
+        return True
+    return bool(abs(diff).max() <= 1e-12 * max(abs(A).max(), 1.0))

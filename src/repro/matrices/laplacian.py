@@ -1,0 +1,59 @@
+"""Graph/grid Laplacian builders used by the synthetic matrix suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def laplacian_1d(n: int, shift: float = 0.0) -> sp.csr_matrix:
+    """1-D Dirichlet Laplacian ([-1, 2, -1]) plus an optional diagonal shift."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    main = (2.0 + shift) * np.ones(n)
+    off = -np.ones(n - 1)
+    return sp.diags([off, main, off], offsets=[-1, 0, 1], format="csr")
+
+
+def laplacian_2d(nx: int, ny: int = None, anisotropy: float = 1.0,
+                 shift: float = 0.0) -> sp.csr_matrix:
+    """2-D Laplacian with optional anisotropy (y-coupling scaled)."""
+    ny = nx if ny is None else ny
+    ix = sp.eye(nx, format="csr")
+    iy = sp.eye(ny, format="csr")
+    A = sp.kron(iy, laplacian_1d(nx)) + anisotropy * sp.kron(laplacian_1d(ny), ix)
+    if shift:
+        A = A + shift * sp.eye(A.shape[0])
+    return A.tocsr()
+
+
+def laplacian_3d(nx: int, ny: int = None, nz: int = None,
+                 shift: float = 0.0) -> sp.csr_matrix:
+    """3-D Laplacian (7-point) with an optional diagonal shift."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    ix = sp.eye(nx, format="csr")
+    iy = sp.eye(ny, format="csr")
+    iz = sp.eye(nz, format="csr")
+    A = (sp.kron(sp.kron(iz, iy), laplacian_1d(nx))
+         + sp.kron(sp.kron(iz, laplacian_1d(ny)), ix)
+         + sp.kron(sp.kron(laplacian_1d(nz), iy), ix))
+    if shift:
+        A = A + shift * sp.eye(A.shape[0])
+    return A.tocsr()
+
+
+def graph_laplacian(adjacency: sp.spmatrix, shift: float = 0.0) -> sp.csr_matrix:
+    """Laplacian ``D - W`` of a weighted undirected graph, plus a shift.
+
+    A small positive ``shift`` makes the (otherwise singular) Laplacian
+    positive definite, which is how several of the synthetic suite
+    matrices (thermal/ecology style problems) are constructed.
+    """
+    W = sp.csr_matrix(adjacency)
+    if W.shape[0] != W.shape[1]:
+        raise ValueError("adjacency must be square")
+    W = (W + W.T) * 0.5
+    degrees = np.asarray(W.sum(axis=1)).ravel()
+    L = sp.diags(degrees + shift) - W
+    return L.tocsr()

@@ -1,0 +1,110 @@
+"""Finite-difference stencil operators.
+
+The 27-point stencil is the operator used by the paper's scaling study
+(Section 5.5) and by the HPCG benchmark: every interior grid point
+couples to all 26 neighbours of its 3x3x3 neighbourhood with weight -1
+and to itself with weight 26, yielding a symmetric positive definite
+matrix (a compact discretisation of -Laplace).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _grid_index(nx: int, ny: int, nz: int):
+    """Linear index array for an ``nx*ny*nz`` grid (x fastest)."""
+    return np.arange(nx * ny * nz).reshape(nz, ny, nx)
+
+
+def poisson_3d_27pt(nx: int, ny: int = None, nz: int = None) -> sp.csr_matrix:
+    """27-point stencil operator on an ``nx x ny x nz`` grid (HPCG style).
+
+    Diagonal is 26, every neighbour in the 3x3x3 box contributes -1.
+    Boundary points simply have fewer neighbours (matrix stays SPD,
+    strictly diagonally dominant).
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    idx = _grid_index(nx, ny, nz)
+    n = nx * ny * nz
+    rows, cols, vals = [], [], []
+    offsets = [(dz, dy, dx)
+               for dz in (-1, 0, 1) for dy in (-1, 0, 1) for dx in (-1, 0, 1)
+               if not (dx == 0 and dy == 0 and dz == 0)]
+    for dz, dy, dx in offsets:
+        zs = slice(max(0, -dz), nz - max(0, dz))
+        ys = slice(max(0, -dy), ny - max(0, dy))
+        xs = slice(max(0, -dx), nx - max(0, dx))
+        src = idx[zs, ys, xs].ravel()
+        zs2 = slice(max(0, dz), nz - max(0, -dz))
+        ys2 = slice(max(0, dy), ny - max(0, -dy))
+        xs2 = slice(max(0, dx), nx - max(0, -dx))
+        dst = idx[zs2, ys2, xs2].ravel()
+        rows.append(src)
+        cols.append(dst)
+        vals.append(np.full(src.size, -1.0))
+    rows.append(np.arange(n))
+    cols.append(np.arange(n))
+    vals.append(np.full(n, 26.0))
+    A = sp.coo_matrix((np.concatenate(vals),
+                       (np.concatenate(rows), np.concatenate(cols))),
+                      shape=(n, n))
+    return A.tocsr()
+
+
+def poisson_3d_7pt(nx: int, ny: int = None, nz: int = None) -> sp.csr_matrix:
+    """Standard 7-point finite-difference Laplacian in 3-D."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    ex = sp.eye(nx, format="csr")
+    ey = sp.eye(ny, format="csr")
+    ez = sp.eye(nz, format="csr")
+    tx = _tridiag(nx)
+    ty = _tridiag(ny)
+    tz = _tridiag(nz)
+    A = (sp.kron(sp.kron(ez, ey), tx)
+         + sp.kron(sp.kron(ez, ty), ex)
+         + sp.kron(sp.kron(tz, ey), ex))
+    return A.tocsr()
+
+
+def poisson_2d_5pt(nx: int, ny: int = None) -> sp.csr_matrix:
+    """Standard 5-point finite-difference Laplacian in 2-D."""
+    ny = nx if ny is None else ny
+    if min(nx, ny) < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    ex = sp.eye(nx, format="csr")
+    ey = sp.eye(ny, format="csr")
+    A = sp.kron(ey, _tridiag(nx)) + sp.kron(_tridiag(ny), ex)
+    return A.tocsr()
+
+
+def _tridiag(n: int) -> sp.csr_matrix:
+    """1-D [-1, 2, -1] operator."""
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], offsets=[-1, 0, 1], format="csr")
+
+
+def stencil_rhs(A: sp.spmatrix, kind: str = "ones", seed: int = 0) -> np.ndarray:
+    """A right-hand side consistent with a known solution.
+
+    ``kind='ones'`` uses b = A @ 1 (so the exact solution is the all-ones
+    vector); ``kind='random'`` uses a random unit solution.
+    """
+    n = A.shape[0]
+    if kind == "ones":
+        x_star = np.ones(n)
+    elif kind == "random":
+        rng = np.random.default_rng(seed)
+        x_star = rng.standard_normal(n)
+        x_star /= np.linalg.norm(x_star)
+    else:
+        raise ValueError(f"unknown rhs kind {kind!r}")
+    return A @ x_star

@@ -1,0 +1,118 @@
+"""Per-page status bitmasks.
+
+Section 3.3.2 of the paper maintains "an atomic bitmask (e.g. an int)
+per block of failure granularity, thus per memory page", where each data
+vector and task output owns one bit.  Tasks check whether their inputs
+were corrupted or skipped; if so, the task is skipped and its own output
+bit is set, which is how skipped work propagates toward the scalar
+(reduction) tasks.
+
+In this reproduction there is no true concurrency (the runtime is a
+deterministic discrete-event simulator), so a plain integer array is an
+exact functional stand-in for the atomic int.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+class Bitmask:
+    """Tracks one bit per (label, page).
+
+    Labels are arbitrary strings naming a vector or a task output, e.g.
+    ``"q"`` or ``"dot:dq"``.  Bits are allocated lazily, in registration
+    order, so the mask can describe any solver without prior knowledge
+    of its data structures.
+    """
+
+    def __init__(self, num_pages: int, labels: Iterable[str] = ()):
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive, got {num_pages}")
+        self.num_pages = int(num_pages)
+        self._bits: Dict[str, int] = {}
+        self._mask = np.zeros(self.num_pages, dtype=np.int64)
+        for label in labels:
+            self.register(label)
+
+    # ------------------------------------------------------------------
+    def register(self, label: str) -> int:
+        """Allocate (or look up) the bit index for ``label``."""
+        if label not in self._bits:
+            bit = len(self._bits)
+            if bit >= 63:
+                raise ValueError("Bitmask supports at most 63 labels")
+            self._bits[label] = bit
+        return self._bits[label]
+
+    @property
+    def labels(self) -> List[str]:
+        """Registered labels, in bit order."""
+        return sorted(self._bits, key=self._bits.get)
+
+    def _bit(self, label: str) -> int:
+        if label not in self._bits:
+            raise KeyError(f"label {label!r} not registered "
+                           f"(known: {sorted(self._bits)})")
+        return self._bits[label]
+
+    # ------------------------------------------------------------------
+    def mark(self, label: str, page: int) -> None:
+        """Set the bit for ``label`` on ``page`` (data lost / task skipped)."""
+        self._check_page(page)
+        self._mask[page] |= np.int64(1 << self._bit(label))
+
+    def clear(self, label: str, page: int) -> None:
+        """Clear the bit for ``label`` on ``page`` (data recovered)."""
+        self._check_page(page)
+        self._mask[page] &= np.int64(~(1 << self._bit(label)))
+
+    def clear_all(self, label: str) -> None:
+        """Clear ``label``'s bit on every page."""
+        self._mask &= np.int64(~(1 << self._bit(label)))
+
+    def is_marked(self, label: str, page: int) -> bool:
+        """True if ``label`` is flagged on ``page``."""
+        self._check_page(page)
+        return bool(self._mask[page] & np.int64(1 << self._bit(label)))
+
+    def any_marked(self, label: str) -> bool:
+        """True if ``label`` is flagged on any page."""
+        return bool(np.any(self._mask & np.int64(1 << self._bit(label))))
+
+    def marked_pages(self, label: str) -> List[int]:
+        """Pages on which ``label`` is flagged."""
+        bit = np.int64(1 << self._bit(label))
+        return [int(p) for p in np.nonzero(self._mask & bit)[0]]
+
+    def pages_with_any(self, labels: Iterable[str]) -> List[int]:
+        """Pages on which at least one of ``labels`` is flagged."""
+        combined = np.int64(0)
+        for label in labels:
+            combined |= np.int64(1 << self._bit(label))
+        return [int(p) for p in np.nonzero(self._mask & combined)[0]]
+
+    def snapshot(self) -> List[Tuple[str, int]]:
+        """All (label, page) pairs currently flagged, for reporting."""
+        out: List[Tuple[str, int]] = []
+        for label in self.labels:
+            for page in self.marked_pages(label):
+                out.append((label, page))
+        return out
+
+    def reset(self) -> None:
+        """Clear every bit on every page."""
+        self._mask[:] = 0
+
+    # ------------------------------------------------------------------
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.num_pages:
+            raise IndexError(
+                f"page {page} out of range [0, {self.num_pages})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flagged = sum(1 for v in self._mask if v)
+        return (f"Bitmask(pages={self.num_pages}, labels={len(self._bits)}, "
+                f"flagged_pages={flagged})")

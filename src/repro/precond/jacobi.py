@@ -1,0 +1,36 @@
+"""Point-Jacobi (diagonal) preconditioner."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.precond.base import Preconditioner
+
+
+class JacobiPreconditioner(Preconditioner):
+    """``M = diag(A)``; applying it is an element-wise division."""
+
+    def __init__(self, A: sp.spmatrix):
+        diag = sp.csr_matrix(A).diagonal()
+        if np.any(diag == 0):
+            raise ValueError("Jacobi preconditioner requires a nonzero diagonal")
+        self._inv_diag = 1.0 / diag
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape[0] != self._inv_diag.shape[0]:
+            raise ValueError(f"vector length {v.shape[0]} does not match "
+                             f"matrix order {self._inv_diag.shape[0]}")
+        return v * self._inv_diag
+
+    def apply_partial(self, v: np.ndarray, rows: Sequence[int]) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        v = np.asarray(v, dtype=np.float64)
+        return v[rows] * self._inv_diag[rows]
+
+    @property
+    def supports_partial(self) -> bool:
+        return True

@@ -1,0 +1,34 @@
+"""Task-based data-flow runtime (OmpSs stand-in).
+
+The paper parallelises CG by strip-mining each vector operation into
+tasks and letting the OmpSs runtime schedule them according to data-flow
+dependencies (Figure 1).  The central claims — that recovery tasks can
+be placed either in the critical path (FEIR) or overlapped with the
+reduction tasks (AFEIR, Figure 2) and that this changes load imbalance
+and overhead — are claims about *task scheduling*.
+
+Pure Python cannot run such tasks truly concurrently (GIL), so this
+package provides a deterministic discrete-event simulator of a work-
+conserving priority list scheduler over ``P`` workers.  Task durations
+come from a calibrated :class:`~repro.runtime.cost_model.CostModel`
+(flops, memory traffic, per-task runtime overhead).  The simulator
+produces the same observable quantities the paper reports: makespan,
+and the per-state time breakdown (useful / runtime / idle) of Table 3.
+"""
+
+from repro.runtime.cost_model import CostModel
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import ListScheduler, ScheduleResult
+from repro.runtime.task import Task, TaskKind
+from repro.runtime.trace import ExecutionTrace, StateBreakdown
+
+__all__ = [
+    "CostModel",
+    "ExecutionTrace",
+    "ListScheduler",
+    "ScheduleResult",
+    "StateBreakdown",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+]

@@ -1,0 +1,128 @@
+"""Task graphs: tasks plus data-flow dependencies."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+from repro.runtime.task import Task, TaskKind
+
+
+class TaskGraph:
+    """A DAG of :class:`~repro.runtime.task.Task` objects.
+
+    Dependencies are stored by task name.  The graph validates that all
+    referenced tasks exist and that no cycle is present before it is
+    scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Task] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, task: Task) -> Task:
+        """Insert a task; names must be unique within the graph."""
+        if task.name in self._tasks:
+            raise ValueError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def add_task(self, name: str, duration: float, *,
+                 kind: TaskKind = TaskKind.COMPUTE, priority: int = 0,
+                 deps: Iterable[str] = (), action=None,
+                 page: Optional[int] = None) -> Task:
+        """Convenience constructor + insert."""
+        task = Task(name=name, duration=duration, kind=kind,
+                    priority=priority, action=action, page=page,
+                    deps=list(deps))
+        return self.add(task)
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise KeyError(f"no task named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def tasks(self) -> List[Task]:
+        """All tasks in insertion order."""
+        return list(self._tasks.values())
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self.task(name).deps)
+
+    def successors(self, name: str) -> List[str]:
+        return [t.name for t in self._tasks.values() if name in t.deps]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that all dependencies exist and the graph is acyclic."""
+        for task in self._tasks.values():
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise ValueError(
+                        f"task {task.name!r} depends on unknown task {dep!r}")
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[str]:
+        """Kahn topological order; raises ``ValueError`` on a cycle."""
+        indegree = {name: 0 for name in self._tasks}
+        for task in self._tasks.values():
+            for dep in task.deps:
+                if dep in indegree:
+                    indegree[task.name] += 1
+        ready = deque(sorted(n for n, d in indegree.items() if d == 0))
+        order: List[str] = []
+        succ: Dict[str, List[str]] = {name: [] for name in self._tasks}
+        for task in self._tasks.values():
+            for dep in task.deps:
+                succ[dep].append(task.name)
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for nxt in succ[name]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._tasks):
+            remaining = sorted(set(self._tasks) - set(order))
+            raise ValueError(f"task graph has a cycle involving {remaining[:5]}")
+        return order
+
+    # ------------------------------------------------------------------
+    def critical_path_length(self) -> float:
+        """Length of the longest dependency chain (infinite workers)."""
+        finish: Dict[str, float] = {}
+        for name in self.topological_order():
+            task = self._tasks[name]
+            start = max((finish[d] for d in task.deps if d in finish), default=0.0)
+            finish[name] = start + task.duration
+        return max(finish.values(), default=0.0)
+
+    def total_work(self) -> float:
+        """Sum of all task durations (one-worker lower bound)."""
+        return sum(t.duration for t in self._tasks.values())
+
+    def merge(self, other: "TaskGraph", link_from: Iterable[str] = (),
+              link_to: Iterable[str] = ()) -> None:
+        """Append ``other``'s tasks, optionally adding cross-graph edges.
+
+        Every task named in ``link_to`` (from ``other``) gains a
+        dependency on every task named in ``link_from`` (from ``self``).
+        Used to chain per-iteration graphs when simulating several
+        iterations as a single schedule.
+        """
+        for task in other.tasks:
+            self.add(task)
+        link_from = list(link_from)
+        for name in link_to:
+            self.task(name).depends_on(*link_from)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskGraph(tasks={len(self._tasks)})"

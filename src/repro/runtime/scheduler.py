@@ -1,0 +1,157 @@
+"""Deterministic priority list scheduler over ``P`` workers.
+
+This is the discrete-event core of the OmpSs stand-in.  It executes a
+:class:`~repro.runtime.graph.TaskGraph` on a fixed number of workers
+using a work-conserving greedy policy:
+
+* a task becomes *ready* when all its dependencies have finished;
+* whenever a worker is free and ready tasks exist, the highest-priority
+  ready task (ties broken by readiness time, then insertion order) is
+  started on that worker;
+* starting a task charges the per-task runtime overhead of the cost
+  model on that worker, in addition to the task's duration.
+
+The scheduler also replays task ``action`` callables in the order the
+tasks *start* in simulated time, so numerical side effects observe the
+same ordering the schedule implies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import ScheduledTask, TaskKind
+from repro.runtime.trace import ExecutionTrace
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one task graph."""
+
+    makespan: float
+    scheduled: Dict[str, ScheduledTask]
+    trace: ExecutionTrace
+    num_workers: int
+    start_time: float = 0.0
+
+    def start_of(self, name: str) -> float:
+        return self.scheduled[name].start
+
+    def end_of(self, name: str) -> float:
+        return self.scheduled[name].end
+
+    def order_started(self) -> List[str]:
+        """Task names ordered by simulated start time."""
+        return [t.name for t in sorted(self.scheduled.values(),
+                                       key=lambda s: (s.start, s.name))]
+
+
+class ListScheduler:
+    """Greedy priority list scheduler (deterministic)."""
+
+    def __init__(self, num_workers: int,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 charge_overhead: bool = True):
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.cost_model = cost_model
+        self.charge_overhead = charge_overhead
+
+    # ------------------------------------------------------------------
+    def run(self, graph: TaskGraph, start_time: float = 0.0,
+            execute_actions: bool = True) -> ScheduleResult:
+        """Schedule ``graph`` and (optionally) replay its task actions."""
+        graph.validate()
+        tasks = {t.name: t for t in graph.tasks}
+        order_index = {name: i for i, name in enumerate(tasks)}
+
+        remaining_deps = {name: sum(1 for d in t.deps if d in tasks)
+                          for name, t in tasks.items()}
+        successors: Dict[str, List[str]] = {name: [] for name in tasks}
+        for t in tasks.values():
+            for d in t.deps:
+                successors[d].append(t.name)
+
+        # ready heap: (-priority, ready_time, insertion_order, name)
+        ready: List = []
+        counter = itertools.count()
+        for name, ndeps in remaining_deps.items():
+            if ndeps == 0:
+                heapq.heappush(ready, (-tasks[name].priority, start_time,
+                                       order_index[name], name))
+
+        # worker availability heap: (free_time, worker_id)
+        workers = [(start_time, w) for w in range(self.num_workers)]
+        heapq.heapify(workers)
+
+        # event heap of task completions: (end_time, seq, name, worker)
+        completions: List = []
+        scheduled: Dict[str, ScheduledTask] = {}
+        started_order: List[str] = []
+        now = start_time
+        overhead = self.cost_model.task_overhead if self.charge_overhead else 0.0
+
+        n_done = 0
+        total = len(tasks)
+        while n_done < total:
+            # Launch as many ready tasks as there are free workers at `now`.
+            launched = True
+            while launched:
+                launched = False
+                if ready and workers and workers[0][0] <= now + 1e-18:
+                    free_time, worker = heapq.heappop(workers)
+                    _, ready_time, _, name = heapq.heappop(ready)
+                    task = tasks[name]
+                    begin = max(now, free_time, ready_time)
+                    end = begin + overhead + task.duration
+                    scheduled[name] = ScheduledTask(
+                        name=name, worker=worker, start=begin, end=end,
+                        kind=task.kind, overhead=overhead)
+                    started_order.append(name)
+                    heapq.heappush(completions, (end, next(counter), name, worker))
+                    launched = True
+            if n_done >= total:
+                break
+            if not completions:
+                # No running tasks but not all done: either tasks are ready
+                # and a worker frees later, or the graph is inconsistent.
+                if not ready:
+                    missing = [n for n, d in remaining_deps.items()
+                               if d > 0 and n not in scheduled]
+                    raise RuntimeError(
+                        f"scheduler deadlock; unfinished tasks: {missing[:5]}")
+                # Advance time to the next worker availability.
+                now = workers[0][0]
+                continue
+            # Advance to next completion.
+            end, _, name, worker = heapq.heappop(completions)
+            now = max(now, end)
+            heapq.heappush(workers, (end, worker))
+            n_done += 1
+            for nxt in successors[name]:
+                remaining_deps[nxt] -= 1
+                if remaining_deps[nxt] == 0:
+                    heapq.heappush(ready, (-tasks[nxt].priority, end,
+                                           order_index[nxt], nxt))
+
+        makespan = max((s.end for s in scheduled.values()), default=start_time)
+
+        if execute_actions:
+            for name in started_order:
+                action = tasks[name].action
+                if action is not None:
+                    action()
+
+        trace = ExecutionTrace.from_schedule(
+            list(scheduled.values()), num_workers=self.num_workers,
+            start=start_time, end=makespan)
+        return ScheduleResult(makespan=makespan - start_time,
+                              scheduled=scheduled, trace=trace,
+                              num_workers=self.num_workers,
+                              start_time=start_time)

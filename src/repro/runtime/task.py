@@ -1,0 +1,83 @@
+"""Task descriptions for the data-flow runtime."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class TaskKind(enum.Enum):
+    """Classification of a task, used for trace accounting.
+
+    The paper's Table 3 splits execution time into *useful* work (solver
+    kernels), *runtime* work (task creation/scheduling) and *idle* time
+    (load imbalance).  Recovery tasks are tracked separately so we can
+    also report how much time recovery itself takes.
+    """
+
+    COMPUTE = "compute"        # solver kernels: spmv, axpy, dot blocks
+    REDUCTION = "reduction"    # scalar tasks (alpha, beta, epsilon)
+    RECOVERY = "recovery"      # r1/r2/r3 recovery tasks
+    CHECKPOINT = "checkpoint"  # checkpoint write / rollback read
+    COMMUNICATION = "comm"     # halo exchange / MPI reduction legs
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    name:
+        Unique name within its graph (e.g. ``"q[3]"``).
+    duration:
+        Time the task occupies a worker, excluding runtime overhead.
+    kind:
+        Category used in trace accounting.
+    priority:
+        Larger runs earlier among ready tasks.  The paper schedules
+        recovery tasks "with a lower priority as to start all reduction
+        tasks first" (Section 3.3.2); we reproduce that with priorities.
+    action:
+        Optional callable executed (in dependency order) when the
+        schedule is replayed numerically.  The runtime itself never
+        inspects the return value.
+    page:
+        Page index the task works on, if it is a per-page task.
+    """
+
+    name: str
+    duration: float
+    kind: TaskKind = TaskKind.COMPUTE
+    priority: int = 0
+    action: Optional[Callable[[], None]] = None
+    page: Optional[int] = None
+    deps: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"task {self.name!r} has negative duration")
+
+    def depends_on(self, *names: str) -> "Task":
+        """Add dependencies and return self (builder style)."""
+        for name in names:
+            if name not in self.deps:
+                self.deps.append(name)
+        return self
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of a task produced by the scheduler."""
+
+    name: str
+    worker: int
+    start: float
+    end: float
+    kind: TaskKind
+    overhead: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

@@ -1,0 +1,135 @@
+"""Execution traces and per-state time accounting.
+
+Table 3 of the paper reports, for FEIR and AFEIR, the *increase of time
+spent per state* relative to the ideal CG, where the states are:
+
+* **useful** — executing solver tasks,
+* **runtime** — creating and scheduling tasks,
+* **imbalance** (idle) — workers waiting for work.
+
+The trace records, for each worker, the intervals occupied by tasks and
+their runtime overheads over the schedule's time span; everything else
+is idle time.  Traces from successive iterations can be accumulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.runtime.task import ScheduledTask, TaskKind
+
+
+@dataclass
+class StateBreakdown:
+    """Aggregate worker-seconds per state."""
+
+    useful: float = 0.0
+    runtime: float = 0.0
+    idle: float = 0.0
+    recovery: float = 0.0
+    checkpoint: float = 0.0
+    communication: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.useful + self.runtime + self.idle + self.recovery
+                + self.checkpoint + self.communication)
+
+    def fractions(self) -> Dict[str, float]:
+        """Each state as a fraction of total worker-seconds."""
+        total = self.total
+        if total <= 0:
+            return {k: 0.0 for k in
+                    ("useful", "runtime", "idle", "recovery", "checkpoint",
+                     "communication")}
+        return {
+            "useful": self.useful / total,
+            "runtime": self.runtime / total,
+            "idle": self.idle / total,
+            "recovery": self.recovery / total,
+            "checkpoint": self.checkpoint / total,
+            "communication": self.communication / total,
+        }
+
+    def add(self, other: "StateBreakdown") -> None:
+        self.useful += other.useful
+        self.runtime += other.runtime
+        self.idle += other.idle
+        self.recovery += other.recovery
+        self.checkpoint += other.checkpoint
+        self.communication += other.communication
+
+    def increase_over(self, baseline: "StateBreakdown") -> Dict[str, float]:
+        """Percentage-point increase of each state share vs a baseline.
+
+        This is the quantity reported in Table 3: how much larger the
+        share of time spent idle / in the runtime / doing useful work is
+        for a resilient run compared to the ideal run.
+        """
+        mine = self.fractions()
+        base = baseline.fractions()
+        return {key: 100.0 * (mine[key] - base[key]) for key in mine}
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-state accounting over one or more schedules."""
+
+    num_workers: int
+    breakdown: StateBreakdown = field(default_factory=StateBreakdown)
+    wall_time: float = 0.0
+    task_count: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedule(cls, scheduled: Iterable[ScheduledTask], *,
+                      num_workers: int, start: float, end: float) -> "ExecutionTrace":
+        """Build a trace from one schedule covering ``[start, end]``."""
+        trace = cls(num_workers=num_workers)
+        busy = 0.0
+        breakdown = trace.breakdown
+        count = 0
+        for st in scheduled:
+            count += 1
+            work = st.duration - st.overhead
+            breakdown.runtime += st.overhead
+            busy += st.duration
+            if st.kind is TaskKind.RECOVERY:
+                breakdown.recovery += work
+            elif st.kind is TaskKind.CHECKPOINT:
+                breakdown.checkpoint += work
+            elif st.kind is TaskKind.COMMUNICATION:
+                breakdown.communication += work
+            elif st.kind is TaskKind.REDUCTION:
+                breakdown.useful += work
+            else:
+                breakdown.useful += work
+        span = max(end - start, 0.0)
+        breakdown.idle += max(num_workers * span - busy, 0.0)
+        trace.wall_time = span
+        trace.task_count = count
+        return trace
+
+    # ------------------------------------------------------------------
+    def accumulate(self, other: "ExecutionTrace") -> None:
+        """Merge another trace (e.g. the next iteration) into this one."""
+        if other.num_workers != self.num_workers:
+            raise ValueError("cannot merge traces with different worker counts")
+        self.breakdown.add(other.breakdown)
+        self.wall_time += other.wall_time
+        self.task_count += other.task_count
+
+    def copy(self) -> "ExecutionTrace":
+        out = ExecutionTrace(num_workers=self.num_workers,
+                             wall_time=self.wall_time,
+                             task_count=self.task_count)
+        out.breakdown.add(self.breakdown)
+        return out
+
+    def utilization(self) -> float:
+        """Fraction of worker-seconds spent doing anything but idling."""
+        total = self.breakdown.total
+        if total <= 0:
+            return 0.0
+        return 1.0 - self.breakdown.idle / total

@@ -1,0 +1,285 @@
+"""Reference (non-resilient) Krylov solvers.
+
+These follow the pseudo-code listings of the paper:
+
+* Listing 1 — Conjugate Gradient,
+* Listing 3 — BiCGStab,
+* Listing 4 — GMRES (restarted, with Givens-rotation QR),
+* Listings 5–7 — their preconditioned versions.
+
+They are deliberately straightforward NumPy/SciPy implementations used
+as ground truth for the resilient variants, and to measure the number of
+iterations the "ideal" solver needs for the cost model's ideal time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis.convergence import ConvergenceRecord, ResidualHistory
+from repro.config import DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE
+from repro.precond.base import Preconditioner
+from repro.precond.identity import IdentityPreconditioner
+
+
+@dataclass
+class ReferenceResult:
+    """Solution plus convergence record for a reference solve."""
+
+    x: np.ndarray
+    record: ConvergenceRecord
+
+    @property
+    def converged(self) -> bool:
+        return self.record.converged
+
+    @property
+    def iterations(self) -> int:
+        return self.record.iterations
+
+
+def _relative_residual(A: sp.spmatrix, x: np.ndarray, b: np.ndarray,
+                       b_norm: float) -> float:
+    return float(np.linalg.norm(b - A @ x) / b_norm)
+
+
+def conjugate_gradient(A: sp.spmatrix, b: np.ndarray,
+                       x0: Optional[np.ndarray] = None, *,
+                       tol: float = DEFAULT_TOLERANCE,
+                       max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                       callback: Optional[Callable[[int, float], None]] = None
+                       ) -> ReferenceResult:
+    """Plain CG (Listing 1): requires ``A`` symmetric positive definite."""
+    return preconditioned_conjugate_gradient(
+        A, b, x0, preconditioner=IdentityPreconditioner(), tol=tol,
+        max_iterations=max_iterations, callback=callback,
+        method_name="CG (reference)")
+
+
+def preconditioned_conjugate_gradient(
+        A: sp.spmatrix, b: np.ndarray, x0: Optional[np.ndarray] = None, *,
+        preconditioner: Optional[Preconditioner] = None,
+        tol: float = DEFAULT_TOLERANCE,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        callback: Optional[Callable[[int, float], None]] = None,
+        method_name: str = "PCG (reference)") -> ReferenceResult:
+    """Preconditioned CG (Listing 5).
+
+    Convergence is declared on the true relative residual
+    ``||b - Ax|| / ||b|| <= tol`` to match the paper's threshold of 1e-10.
+    """
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape[0] != n:
+        raise ValueError(f"b has length {b.shape[0]}, expected {n}")
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        record = ConvergenceRecord(converged=True, iterations=0, solve_time=0.0,
+                                   final_residual=0.0, method=method_name)
+        return ReferenceResult(x=np.zeros(n), record=record)
+
+    history = ResidualHistory()
+    g = b - A @ x
+    z = M.apply(g)
+    d = z.copy()
+    rho = float(g @ z)
+    rel = float(np.linalg.norm(g) / b_norm)
+    history.append(0, 0.0, rel)
+
+    converged = rel <= tol
+    iteration = 0
+    while not converged and iteration < max_iterations:
+        iteration += 1
+        q = A @ d
+        dq = float(d @ q)
+        if dq <= 0:
+            # Not SPD (or breakdown): report failure honestly.
+            break
+        alpha = rho / dq
+        x += alpha * d
+        g -= alpha * q
+        rel = float(np.linalg.norm(g) / b_norm)
+        history.append(iteration, float(iteration), rel)
+        if callback is not None:
+            callback(iteration, rel)
+        if rel <= tol:
+            converged = True
+            break
+        z = M.apply(g)
+        rho_new = float(g @ z)
+        beta = rho_new / rho
+        rho = rho_new
+        d = z + beta * d
+
+    record = ConvergenceRecord(
+        converged=converged, iterations=iteration, solve_time=float(iteration),
+        final_residual=_relative_residual(A, x, b, b_norm), history=history,
+        method=method_name)
+    return ReferenceResult(x=x, record=record)
+
+
+def bicgstab(A: sp.spmatrix, b: np.ndarray, x0: Optional[np.ndarray] = None, *,
+             preconditioner: Optional[Preconditioner] = None,
+             tol: float = DEFAULT_TOLERANCE,
+             max_iterations: int = DEFAULT_MAX_ITERATIONS,
+             callback: Optional[Callable[[int, float], None]] = None
+             ) -> ReferenceResult:
+    """BiCGStab (Listing 3 / Listing 6 when a preconditioner is given)."""
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape[0] != n:
+        raise ValueError(f"b has length {b.shape[0]}, expected {n}")
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        record = ConvergenceRecord(converged=True, iterations=0, solve_time=0.0,
+                                   final_residual=0.0, method="BiCGStab (reference)")
+        return ReferenceResult(x=np.zeros(n), record=record)
+
+    history = ResidualHistory()
+    g = b - A @ x          # residual
+    r = g.copy()           # shadow residual (constant, as in the paper)
+    d = g.copy()
+    rho = float(g @ r)
+    rel = float(np.linalg.norm(g) / b_norm)
+    history.append(0, 0.0, rel)
+
+    converged = rel <= tol
+    iteration = 0
+    while not converged and iteration < max_iterations:
+        iteration += 1
+        p = M.apply(d)
+        q = A @ p
+        qr = float(q @ r)
+        if qr == 0.0 or rho == 0.0:
+            break  # breakdown
+        alpha = rho / qr
+        s_vec = g - alpha * q
+        s_hat = M.apply(s_vec)
+        t = A @ s_hat
+        tt = float(t @ t)
+        if tt == 0.0:
+            x += alpha * p
+            g = s_vec
+        else:
+            omega = float(t @ s_vec) / tt
+            x += alpha * p + omega * s_hat
+            g = s_vec - omega * t
+        rel = float(np.linalg.norm(g) / b_norm)
+        history.append(iteration, float(iteration), rel)
+        if callback is not None:
+            callback(iteration, rel)
+        if rel <= tol:
+            converged = True
+            break
+        if tt == 0.0:
+            break
+        rho_old = rho
+        rho = float(g @ r)
+        beta = (rho / rho_old) * (alpha / omega)
+        d = g + beta * (d - omega * q)
+
+    record = ConvergenceRecord(
+        converged=converged, iterations=iteration, solve_time=float(iteration),
+        final_residual=_relative_residual(A, x, b, b_norm), history=history,
+        method="BiCGStab (reference)")
+    return ReferenceResult(x=x, record=record)
+
+
+def gmres(A: sp.spmatrix, b: np.ndarray, x0: Optional[np.ndarray] = None, *,
+          restart: int = 30, preconditioner: Optional[Preconditioner] = None,
+          tol: float = DEFAULT_TOLERANCE,
+          max_iterations: int = DEFAULT_MAX_ITERATIONS,
+          callback: Optional[Callable[[int, float], None]] = None
+          ) -> ReferenceResult:
+    """Restarted GMRES(m) with Givens rotations (Listings 4 and 7)."""
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape[0] != n:
+        raise ValueError(f"b has length {b.shape[0]}, expected {n}")
+    if restart < 1:
+        raise ValueError("restart length must be >= 1")
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        record = ConvergenceRecord(converged=True, iterations=0, solve_time=0.0,
+                                   final_residual=0.0, method="GMRES (reference)")
+        return ReferenceResult(x=np.zeros(n), record=record)
+
+    history = ResidualHistory()
+    total_iterations = 0
+    rel = float(np.linalg.norm(b - A @ x) / b_norm)
+    history.append(0, 0.0, rel)
+    converged = rel <= tol
+
+    while not converged and total_iterations < max_iterations:
+        g = b - A @ x
+        z = M.apply(g)
+        beta = float(np.linalg.norm(z))
+        if beta == 0.0:
+            converged = True
+            break
+        m = restart
+        V = np.zeros((n, m + 1))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        e1 = np.zeros(m + 1)
+        e1[0] = beta
+        V[:, 0] = z / beta
+        k_used = 0
+        for k in range(m):
+            total_iterations += 1
+            k_used = k + 1
+            w = M.apply(A @ V[:, k])
+            for i in range(k + 1):
+                H[i, k] = float(w @ V[:, i])
+                w -= H[i, k] * V[:, i]
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-300:
+                V[:, k + 1] = w / H[k + 1, k]
+            # Apply previous Givens rotations to the new column.
+            for i in range(k):
+                temp = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = temp
+            # New rotation annihilating H[k+1, k].
+            denom = float(np.hypot(H[k, k], H[k + 1, k]))
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            e1[k + 1] = -sn[k] * e1[k]
+            e1[k] = cs[k] * e1[k]
+            rel_inner = abs(e1[k + 1]) / b_norm
+            if callback is not None:
+                callback(total_iterations, rel_inner)
+            if rel_inner <= tol or total_iterations >= max_iterations:
+                break
+        # Solve the small triangular system and update x.
+        y = np.linalg.solve(H[:k_used, :k_used], e1[:k_used])
+        x = x + V[:, :k_used] @ y
+        rel = float(np.linalg.norm(b - A @ x) / b_norm)
+        history.append(total_iterations, float(total_iterations), rel)
+        if rel <= tol:
+            converged = True
+
+    record = ConvergenceRecord(
+        converged=converged, iterations=total_iterations,
+        solve_time=float(total_iterations),
+        final_residual=_relative_residual(A, x, b, b_norm), history=history,
+        method="GMRES (reference)")
+    return ReferenceResult(x=x, record=record)

@@ -1,0 +1,925 @@
+"""Resilient, task-decomposed Conjugate Gradient (Sections 3.3 and 5).
+
+This is the paper's implementation target: a page-blocked CG (optionally
+block-Jacobi preconditioned) whose iterations are strip-mined into tasks
+executed by the discrete-event runtime, with
+
+* double-buffered search direction ``d`` (Listing 2), so the in-place
+  update never destroys the only copy of recoverable data,
+* a per-page skip protocol for reduction contributions of pages known to
+  be lost (Section 3.3.2),
+* fault injection according to an :class:`~repro.faults.ErrorScenario`,
+* a pluggable recovery strategy (FEIR, AFEIR, Lossy Restart,
+  checkpoint/rollback, trivial); FEIR/AFEIR add r1/r2/r3 recovery tasks
+  to every iteration, either in the critical path or overlapped.
+
+Execution model
+---------------
+Numerical work is performed eagerly with NumPy, while *time* is
+simulated: each iteration's task graph is scheduled on ``num_workers``
+workers by the list scheduler and the makespan advances the simulated
+clock.  Fault injection times are interpreted on that clock.  Within an
+iteration, faults are materialised at four check points:
+
+=====  ==============================  =========================
+point  position in the iteration       covering recovery task
+=====  ==============================  =========================
+``A``  before the rho/beta scalar      ``r2``
+``B``  after the d update, before A*d  (handled eagerly)
+``C``  before the alpha scalar         ``r1``
+``D``  end of the iteration            ``r3``
+=====  ==============================  =========================
+
+With FEIR the recovery tasks are barriers, so every fault detected
+before a scalar is repaired in time.  With AFEIR a fault injected after
+the covering recovery task has started but before the scalar runs cannot
+be repaired in time: the affected page's contribution to that reduction
+is *skipped*, the dependent per-page update is deferred, and the page is
+repaired exactly at point ``D`` (the relations ``g = b - Ax`` and
+``q = A d`` still hold there), after which the skipped update is
+re-executed.  This reproduces the coverage/overhead trade-off of
+Section 5.4: AFEIR never loses exactness of the data, but high error
+rates pollute the reductions and slow convergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis.convergence import ConvergenceRecord, ResidualHistory
+from repro.config import (DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE,
+                          DEFAULT_WORKERS, PAGE_DOUBLES)
+from repro.core.checkpoint import CheckpointStrategy
+from repro.core.relations import MatVecRelation, ResidualRelation
+from repro.core.strategy import RecoveryStats, RecoveryStrategy
+from repro.faults.injector import Injection
+from repro.faults.scenarios import ErrorScenario
+from repro.matrices.blocked import PageBlockedMatrix
+from repro.memory.manager import MemoryManager
+from repro.memory.pages import PagedVector
+from repro.precond.base import Preconditioner
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import ListScheduler, ScheduleResult
+from repro.runtime.task import TaskKind
+from repro.runtime.trace import ExecutionTrace
+
+
+@dataclass
+class SolverConfig:
+    """Configuration of the resilient CG run."""
+
+    tolerance: float = DEFAULT_TOLERANCE
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+    num_workers: int = DEFAULT_WORKERS
+    page_size: int = PAGE_DOUBLES
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    #: Scale factor applied to compute-task durations (and checkpoint
+    #: volume) so the scaled-down test matrices are *timed* as if they
+    #: had the paper's problem sizes.  Purely a timing device; the
+    #: numerics are untouched.
+    work_scale: float = 200.0
+    #: Record the per-iteration residual history.
+    record_history: bool = True
+    #: Injection schedule horizon, as a multiple of the ideal solve time.
+    horizon_factor: float = 50.0
+    #: Extra simulated cost of servicing one page fault (signal delivery,
+    #: page re-mapping by the OS), charged per detected DUE.
+    fault_service_time: float = 0.5e-3
+
+
+@dataclass
+class CGState:
+    """Solver state handed to recovery strategies (see ``core.strategy``)."""
+
+    blocked: PageBlockedMatrix
+    b: np.ndarray
+    vectors: Dict[str, PagedVector]
+    memory: MemoryManager
+    residual_relation: ResidualRelation
+    matvec_relation: MatVecRelation
+    preconditioner: Optional[Preconditioner]
+    current_d_name: str = "d0"
+    previous_d_name: str = "d1"
+    #: Where in the iteration we are ("A", "B", "C" or "D").
+    point: str = "A"
+    #: Scalars available for relation-based recovery (e.g. ``beta``).
+    scalars: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SolveResult:
+    """Everything produced by one resilient solve."""
+
+    x: np.ndarray
+    record: ConvergenceRecord
+    trace: ExecutionTrace
+    stats: RecoveryStats
+    ideal_iteration_time: float = 0.0
+
+    @property
+    def converged(self) -> bool:
+        return self.record.converged
+
+    @property
+    def solve_time(self) -> float:
+        return self.record.solve_time
+
+
+@dataclass
+class _IterationTemplate:
+    """Cached schedule of a fault-free iteration (reused while no faults)."""
+
+    makespan: float
+    rel_point_times: Dict[str, float]
+    trace: ExecutionTrace
+
+
+class ResilientCG:
+    """Page-blocked, task-scheduled CG/PCG with pluggable DUE recovery."""
+
+    PROTECTED = ("x", "g", "d0", "d1", "q")
+
+    def __init__(self, A: sp.spmatrix, b: np.ndarray, *,
+                 strategy: Optional[RecoveryStrategy] = None,
+                 preconditioner: Optional[Preconditioner] = None,
+                 scenario: Optional[ErrorScenario] = None,
+                 config: Optional[SolverConfig] = None,
+                 matrix_name: str = ""):
+        self.config = config or SolverConfig()
+        self.blocked = PageBlockedMatrix(A, page_size=self.config.page_size)
+        self.A = self.blocked.A
+        self.n = self.blocked.n
+        self.b = np.asarray(b, dtype=np.float64)
+        if self.b.shape[0] != self.n:
+            raise ValueError(f"b has length {self.b.shape[0]}, expected {self.n}")
+        self.strategy = strategy
+        self.preconditioner = preconditioner
+        self.scenario = scenario
+        self.matrix_name = matrix_name
+        self.scheduler = ListScheduler(self.config.num_workers,
+                                       cost_model=self.config.cost_model)
+        self._chunk_bounds = self._compute_chunks()
+        self._template: Optional[_IterationTemplate] = None
+        if self.strategy is not None and hasattr(self.strategy, "work_scale"):
+            # Conflict fallbacks recompute a full vector; charge them at the
+            # same simulated problem scale as the solver's compute tasks.
+            self.strategy.work_scale = self.config.work_scale
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def ideal_iteration_time(self) -> float:
+        """Makespan of one fault-free iteration without resilience tasks."""
+        graph = self._build_iteration_graph(iteration=0, resilient=False,
+                                            recovery_durations=None,
+                                            checkpoint=False)
+        return self.scheduler.run(graph, execute_actions=False).makespan
+
+    def estimate_ideal_time(self, iterations_hint: Optional[int] = None) -> float:
+        """Ideal solve time: iteration makespan times the iteration count.
+
+        With no hint, a fault-free reference CG is run (NumPy only) to
+        count iterations.
+        """
+        t_iter = self.ideal_iteration_time()
+        if iterations_hint is None:
+            from repro.solvers.reference import preconditioned_conjugate_gradient
+            ref = preconditioned_conjugate_gradient(
+                self.A, self.b, preconditioner=self.preconditioner,
+                tol=self.config.tolerance,
+                max_iterations=self.config.max_iterations)
+            iterations_hint = max(ref.record.iterations, 1)
+        return t_iter * iterations_hint
+
+    def solve(self, x0: Optional[np.ndarray] = None,
+              ideal_time: Optional[float] = None) -> SolveResult:
+        """Run the solver; returns the solution, record, trace and stats."""
+        cfg = self.config
+        stats = RecoveryStats()
+        history = ResidualHistory()
+        memory = MemoryManager()
+        vectors = self._allocate_vectors(memory, x0)
+        state = CGState(
+            blocked=self.blocked, b=self.b, vectors=vectors, memory=memory,
+            residual_relation=ResidualRelation(self.blocked, self.b),
+            matvec_relation=MatVecRelation(self.blocked),
+            preconditioner=self.preconditioner)
+
+        b_norm = float(np.linalg.norm(self.b))
+        if b_norm == 0.0:
+            record = ConvergenceRecord(converged=True, iterations=0,
+                                       solve_time=0.0, final_residual=0.0,
+                                       method=self._method_name(),
+                                       matrix=self.matrix_name)
+            return SolveResult(x=np.zeros(self.n), record=record,
+                               trace=ExecutionTrace(cfg.num_workers),
+                               stats=stats)
+
+        injections = self._build_injection_schedule(memory, ideal_time)
+        pending = list(injections)
+        faults_injected = len(pending)
+
+        t_iter_ideal = self.ideal_iteration_time()
+        if isinstance(self.strategy, CheckpointStrategy):
+            if self.strategy.interval is None:
+                mtbe = self._scenario_mtbe(ideal_time)
+                self.strategy.configure_interval(
+                    mtbe, t_iter_ideal,
+                    self.strategy.checkpoint_bytes(self.n) * cfg.work_scale)
+        if self.strategy is not None:
+            self.strategy.on_solve_start(state)
+
+        x = vectors["x"].array
+        g = vectors["g"].array
+        np.copyto(g, self.b - self.A @ x)
+        rel = float(np.linalg.norm(g) / b_norm)
+        clock = 0.0
+        history.append(0, clock, rel)
+
+        trace_total = ExecutionTrace(cfg.num_workers)
+        rho_old = 0.0
+        restart_next = True       # first iteration behaves like a restart
+        converged = rel <= cfg.tolerance
+        iteration = 0
+
+        while not converged and iteration < cfg.max_iterations:
+            iteration += 1
+            this_d, last_d = (("d0", "d1") if iteration % 2 == 1
+                              else ("d1", "d0"))
+            d_cur = vectors[this_d].array
+            d_prev = vectors[last_d].array
+            q = vectors["q"].array
+
+            checkpoint_now = (isinstance(self.strategy, CheckpointStrategy)
+                              and self.strategy.should_checkpoint(iteration))
+
+            # -------- timing pass 1 (cached for fault-free iterations) ------
+            next_time = pending[0].time if pending else math.inf
+            template = self._iteration_template()
+            use_template = (not checkpoint_now
+                            and next_time > clock + template.makespan)
+            if use_template:
+                makespan1 = template.makespan
+                point_times = {k: clock + v
+                               for k, v in template.rel_point_times.items()}
+                trace1 = template.trace
+            else:
+                graph1 = self._build_iteration_graph(
+                    iteration, resilient=self._uses_recovery_tasks(),
+                    recovery_durations=None, checkpoint=checkpoint_now)
+                sched1 = self.scheduler.run(graph1, start_time=clock,
+                                            execute_actions=False)
+                makespan1 = sched1.makespan
+                point_times = {k: clock + v
+                               for k, v in self._point_times(sched1, iteration).items()}
+                trace1 = sched1.trace
+
+            horizon_end = clock + makespan1
+            batch = [inj for inj in pending if inj.time <= horizon_end]
+            pending = [inj for inj in pending if inj.time > horizon_end]
+            by_point = self._assign_to_points(batch, point_times)
+
+            late: Dict[str, Set[int]] = {"g": set(), "x": set(),
+                                         "d": set(), "q": set()}
+            recovery_work = {"r1": 0.0, "r2": 0.0, "r3": 0.0}
+            fault_service = 0.0
+            restart_requested = False
+            rolled_back = False
+
+            def finish_restart():
+                nonlocal clock, rel, rho_old, restart_next, converged
+                # Unprocessed injections of this iteration go back to pending.
+                self._apply_restart(state)
+                clock2 = self._advance_clock(
+                    clock, iteration, makespan1, trace1, recovery_work,
+                    fault_service, checkpoint_now, trace_total,
+                    faults=bool(batch))
+                clock = clock2
+                rel = float(np.linalg.norm(g) / b_norm)
+                if cfg.record_history:
+                    history.append(iteration, clock, rel)
+                rho_old = 0.0
+                restart_next = True
+                converged = rel <= cfg.tolerance
+
+            # ---------------- point A: before rho ---------------------------
+            state.point = "A"
+            state.current_d_name, state.previous_d_name = last_d, this_d
+            outcome_a = self._handle_point(state, by_point["A"], point_times,
+                                           "A", iteration, this_d, late, stats)
+            recovery_work["r2"] += outcome_a["work"]
+            fault_service += outcome_a["service"]
+            restart_requested |= outcome_a["restart"]
+            rolled_back |= outcome_a["rollback"]
+            skip_rho: Set[int] = set(late["g"])
+            if self._uses_recovery_tasks():
+                skip_rho |= outcome_a["skip"]
+            if restart_requested:
+                pending = sorted(by_point["B"] + by_point["C"] + by_point["D"]
+                                 + pending, key=lambda i: i.time)
+                if rolled_back:
+                    stats.rollbacks += 1
+                finish_restart()
+                continue
+
+            # ---------------- rho / beta ------------------------------------
+            z = self.preconditioner.apply(g) if self.preconditioner else g
+            rho = self._masked_dot(g, z, skip_rho)
+            stats.contributions_skipped += len(skip_rho)
+            norm_g_sq = self._masked_dot(g, g, skip_rho)
+            rel_recursive = math.sqrt(max(norm_g_sq, 0.0)) / b_norm
+            if rel_recursive <= cfg.tolerance:
+                true_rel = float(np.linalg.norm(self.b - self.A @ x) / b_norm)
+                clock = self._advance_clock(
+                    clock, iteration, makespan1, trace1, recovery_work,
+                    fault_service, checkpoint_now, trace_total,
+                    faults=bool(batch))
+                if true_rel <= cfg.tolerance * 10:
+                    converged = True
+                    rel = true_rel
+                    history.append(iteration, clock, rel)
+                    break
+                np.copyto(g, self.b - self.A @ x)   # resynchronise
+                restart_next = True
+                rho_old = 0.0
+                rel = float(np.linalg.norm(g) / b_norm)
+                history.append(iteration, clock, rel)
+                continue
+
+            beta = 0.0 if (restart_next or rho_old == 0.0) else rho / rho_old
+            state.scalars["beta"] = beta
+            restart_next = False
+
+            # ---------------- d update (double buffered) --------------------
+            state.current_d_name, state.previous_d_name = this_d, last_d
+            np.copyto(d_cur, z + beta * d_prev)
+            for page in range(vectors[this_d].num_pages):
+                memory.overwrite(this_d, page)
+
+            # ---------------- point B: before the mat-vec -------------------
+            state.point = "B"
+            outcome_b = self._handle_point(state, by_point["B"], point_times,
+                                           "B", iteration, this_d, late, stats,
+                                           z=z, beta=beta)
+            recovery_work["r1"] += outcome_b["work"]
+            fault_service += outcome_b["service"]
+            restart_requested |= outcome_b["restart"]
+            rolled_back |= outcome_b["rollback"]
+            if restart_requested:
+                pending = sorted(by_point["C"] + by_point["D"] + pending,
+                                 key=lambda i: i.time)
+                if rolled_back:
+                    stats.rollbacks += 1
+                finish_restart()
+                continue
+
+            # ---------------- q = A d --------------------------------------
+            np.copyto(q, self.A @ d_cur)
+            for page in range(vectors["q"].num_pages):
+                memory.overwrite("q", page)
+
+            # ---------------- point C: before alpha -------------------------
+            state.point = "C"
+            outcome_c = self._handle_point(state, by_point["C"], point_times,
+                                           "C", iteration, this_d, late, stats)
+            recovery_work["r1"] += outcome_c["work"]
+            fault_service += outcome_c["service"]
+            restart_requested |= outcome_c["restart"]
+            rolled_back |= outcome_c["rollback"]
+            if restart_requested:
+                pending = sorted(by_point["D"] + pending, key=lambda i: i.time)
+                if rolled_back:
+                    stats.rollbacks += 1
+                finish_restart()
+                continue
+
+            skip_dq: Set[int] = set(late["d"]) | set(late["q"])
+            if self._uses_recovery_tasks():
+                skip_dq |= outcome_c["skip"]
+            dq = self._masked_dot(d_cur, q, skip_dq)
+            stats.contributions_skipped += len(skip_dq)
+            if dq <= 0.0:
+                # Breakdown after unrecovered corruption: resynchronise.
+                np.copyto(g, self.b - self.A @ x)
+                restart_next = True
+                rho_old = 0.0
+                clock = self._advance_clock(
+                    clock, iteration, makespan1, trace1, recovery_work,
+                    fault_service, checkpoint_now, trace_total,
+                    faults=bool(batch))
+                rel = float(np.linalg.norm(g) / b_norm)
+                history.append(iteration, clock, rel)
+                continue
+            alpha = rho / dq
+
+            # ---------------- x and g updates --------------------------------
+            self._masked_axpy(x, alpha, d_cur, skip_pages=late["x"] | late["d"])
+            self._masked_axpy(g, -alpha, q, skip_pages=late["g"] | late["q"])
+            rho_old = rho
+
+            # ---------------- point D: end of the iteration ------------------
+            state.point = "D"
+            outcome_d = self._handle_point(state, by_point["D"], point_times,
+                                           "D", iteration, this_d, late, stats)
+            recovery_work["r3"] += outcome_d["work"]
+            fault_service += outcome_d["service"]
+            restart_requested |= outcome_d["restart"]
+            rolled_back |= outcome_d["rollback"]
+
+            deferred_work, deferred_restart = self._repair_deferred(
+                state, late, this_d, alpha, stats)
+            recovery_work["r3"] += deferred_work
+            restart_requested |= deferred_restart
+
+            if checkpoint_now and isinstance(self.strategy, CheckpointStrategy):
+                self.strategy.save(state, iteration, {"rho_old": rho_old})
+                stats.checkpoints_written += 1
+
+            clock = self._advance_clock(
+                clock, iteration, makespan1, trace1, recovery_work,
+                fault_service, checkpoint_now, trace_total, faults=bool(batch))
+
+            if restart_requested:
+                if rolled_back:
+                    stats.rollbacks += 1
+                self._apply_restart(state)
+                restart_next = True
+                rho_old = 0.0
+
+            rel = float(np.linalg.norm(g) / b_norm)
+            if cfg.record_history:
+                history.append(iteration, clock, rel)
+            if rel <= cfg.tolerance:
+                true_rel = float(np.linalg.norm(self.b - self.A @ x) / b_norm)
+                if true_rel <= cfg.tolerance * 10:
+                    converged = True
+                    rel = true_rel
+                else:
+                    np.copyto(g, self.b - self.A @ x)
+                    restart_next = True
+                    rho_old = 0.0
+
+        final_residual = float(np.linalg.norm(self.b - self.A @ x) / b_norm)
+        record = ConvergenceRecord(
+            converged=converged, iterations=iteration, solve_time=clock,
+            final_residual=final_residual, history=history,
+            method=self._method_name(), matrix=self.matrix_name,
+            faults_injected=faults_injected,
+            faults_detected=memory.fault_count(),
+            restarts=stats.restarts, rollbacks=stats.rollbacks)
+        return SolveResult(x=np.array(x, copy=True), record=record,
+                           trace=trace_total, stats=stats,
+                           ideal_iteration_time=t_iter_ideal)
+
+    # ==================================================================
+    # construction helpers
+    # ==================================================================
+    def _method_name(self) -> str:
+        base = "PCG" if self.preconditioner is not None else "CG"
+        if self.strategy is None:
+            return f"{base}-ideal"
+        return f"{base}-{self.strategy.name}"
+
+    def _uses_recovery_tasks(self) -> bool:
+        return self.strategy is not None and self.strategy.uses_recovery_tasks
+
+    def _allocate_vectors(self, memory: MemoryManager,
+                          x0: Optional[np.ndarray]) -> Dict[str, PagedVector]:
+        vectors: Dict[str, PagedVector] = {}
+        for name in self.PROTECTED:
+            vec = PagedVector(self.n, name=name, page_size=self.config.page_size)
+            if name == "x" and x0 is not None:
+                vec.fill_from(np.asarray(x0, dtype=np.float64))
+            vectors[name] = memory.register(vec)
+        return vectors
+
+    def _compute_chunks(self) -> List[Tuple[int, int]]:
+        """Strip-mine the row range into one chunk per worker."""
+        workers = self.config.num_workers
+        bounds = np.linspace(0, self.n, workers + 1).astype(int)
+        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(workers)
+                if bounds[i + 1] > bounds[i]]
+
+    def _scenario_mtbe(self, ideal_time: Optional[float]) -> float:
+        if (self.scenario is None or self.scenario.is_fault_free
+                or ideal_time is None or self.scenario.normalized_rate <= 0):
+            return float("inf")
+        return ideal_time / self.scenario.normalized_rate
+
+    def _build_injection_schedule(self, memory: MemoryManager,
+                                  ideal_time: Optional[float]) -> List[Injection]:
+        if self.scenario is None or self.scenario.is_fault_free:
+            return []
+        if self.scenario.fixed_injections:
+            return sorted(self.scenario.fixed_injections, key=lambda i: i.time)
+        if ideal_time is None:
+            raise ValueError("a rate-based ErrorScenario needs ideal_time to "
+                             "normalise the MTBE (pass ideal_time to solve())")
+        horizon = ideal_time * self.config.horizon_factor
+        return self.scenario.schedule(ideal_time, horizon, memory.page_universe())
+
+    # ==================================================================
+    # task graph construction and timing
+    # ==================================================================
+    def _chunk_cost(self, kind: str) -> List[float]:
+        """Durations of the strip-mined chunk tasks for one operation."""
+        cm = self.config.cost_model
+        scale = self.config.work_scale
+        costs: List[float] = []
+        for (start, stop) in self._chunk_bounds:
+            rows = stop - start
+            if kind == "spmv":
+                nnz = int(self.A.indptr[stop] - self.A.indptr[start])
+                costs.append(cm.kernel_time(2.0 * nnz, nnz * 12.0 + rows * 8.0)
+                             * scale)
+            elif kind == "axpy":
+                costs.append(cm.kernel_time(2.0 * rows, 24.0 * rows) * scale)
+            elif kind == "dot":
+                costs.append(cm.kernel_time(2.0 * rows, 16.0 * rows) * scale)
+            elif kind == "precond":
+                # Block-Jacobi triangular solves: ~2 * page_size flops/row.
+                flops = 2.0 * self.config.page_size * rows
+                costs.append(cm.kernel_time(flops, 24.0 * rows) * scale)
+            else:
+                raise ValueError(f"unknown chunk kind {kind!r}")
+        return costs
+
+    def _build_iteration_graph(self, iteration: int, *, resilient: bool,
+                               recovery_durations: Optional[Dict[str, float]],
+                               checkpoint: bool) -> TaskGraph:
+        """One CG iteration as a task graph (Figure 1 of the paper)."""
+        cm = self.config.cost_model
+        graph = TaskGraph()
+        t = iteration
+        critical = (self.strategy.recovery_in_critical_path
+                    if self.strategy is not None else False)
+        rec = recovery_durations or {}
+        check = cm.recovery_check()
+
+        precond_names: List[str] = []
+        if self.preconditioner is not None:
+            for c, dur in enumerate(self._chunk_cost("precond")):
+                name = f"z{t}:{c}"
+                graph.add_task(name, dur, kind=TaskKind.COMPUTE)
+                precond_names.append(name)
+
+        # --- rho partial dots + r2 + scalar (beta task) ----------------------
+        rho_parts: List[str] = []
+        for c, dur in enumerate(self._chunk_cost("dot")):
+            name = f"rho{t}:{c}"
+            graph.add_task(name, dur, kind=TaskKind.REDUCTION, deps=precond_names)
+            rho_parts.append(name)
+        scalar_rho_deps = list(rho_parts)
+        if resilient:
+            r2_deps = rho_parts if critical else precond_names
+            graph.add_task(f"r2_{t}", rec.get("r2", check),
+                           kind=TaskKind.RECOVERY,
+                           priority=0 if critical else -1, deps=r2_deps)
+            scalar_rho_deps.append(f"r2_{t}")
+        graph.add_task(f"beta{t}", cm.scalar_task(), kind=TaskKind.REDUCTION,
+                       deps=scalar_rho_deps)
+
+        # --- d update ---------------------------------------------------------
+        d_parts: List[str] = []
+        for c, dur in enumerate(self._chunk_cost("axpy")):
+            name = f"d{t}:{c}"
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=[f"beta{t}"])
+            d_parts.append(name)
+
+        # --- q = A d (lattice: every chunk needs every d chunk) ---------------
+        q_parts: List[str] = []
+        for c, dur in enumerate(self._chunk_cost("spmv")):
+            name = f"q{t}:{c}"
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=d_parts)
+            q_parts.append(name)
+
+        # --- <d, q> partial dots + r1 + alpha ----------------------------------
+        dq_parts: List[str] = []
+        for c, dur in enumerate(self._chunk_cost("dot")):
+            name = f"dq{t}:{c}"
+            graph.add_task(name, dur, kind=TaskKind.REDUCTION,
+                           deps=[f"q{t}:{c}"])
+            dq_parts.append(name)
+        scalar_alpha_deps = list(dq_parts)
+        if resilient:
+            r1_deps = dq_parts if critical else q_parts
+            graph.add_task(f"r1_{t}", rec.get("r1", check),
+                           kind=TaskKind.RECOVERY,
+                           priority=0 if critical else -1, deps=r1_deps)
+            scalar_alpha_deps.append(f"r1_{t}")
+        graph.add_task(f"alpha{t}", cm.scalar_task(), kind=TaskKind.REDUCTION,
+                       deps=scalar_alpha_deps)
+
+        # --- x and g updates ----------------------------------------------------
+        update_parts: List[str] = []
+        for c, dur in enumerate(self._chunk_cost("axpy")):
+            name = f"x{t}:{c}"
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=[f"alpha{t}"])
+            update_parts.append(name)
+        for c, dur in enumerate(self._chunk_cost("axpy")):
+            name = f"g{t}:{c}"
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=[f"alpha{t}"])
+            update_parts.append(name)
+        if resilient:
+            r3_deps = update_parts if critical else [f"alpha{t}"]
+            graph.add_task(f"r3_{t}", rec.get("r3", check),
+                           kind=TaskKind.RECOVERY,
+                           priority=0 if critical else -1, deps=r3_deps)
+
+        # --- checkpoint write ----------------------------------------------------
+        if checkpoint and isinstance(self.strategy, CheckpointStrategy):
+            volume = (self.strategy.checkpoint_bytes(self.n)
+                      * self.config.work_scale)
+            graph.add_task(f"ckpt{t}", cm.checkpoint_write(volume),
+                           kind=TaskKind.CHECKPOINT, deps=update_parts)
+        return graph
+
+    def _iteration_template(self) -> _IterationTemplate:
+        """Schedule of a fault-free iteration, cached across iterations."""
+        if self._template is None:
+            graph = self._build_iteration_graph(
+                iteration=0, resilient=self._uses_recovery_tasks(),
+                recovery_durations=None, checkpoint=False)
+            sched = self.scheduler.run(graph, execute_actions=False)
+            rel_times = self._point_times(sched, 0)
+            self._template = _IterationTemplate(
+                makespan=sched.makespan, rel_point_times=rel_times,
+                trace=sched.trace)
+        return self._template
+
+    def _point_times(self, sched: ScheduleResult, iteration: int
+                     ) -> Dict[str, float]:
+        """Check-point times relative to the schedule's start time."""
+        t = iteration
+        base = sched.start_time
+        times: Dict[str, float] = {}
+        times["A"] = sched.start_of(f"beta{t}") - base
+        times["B"] = min(sched.start_of(f"q{t}:{c}")
+                         for c in range(len(self._chunk_bounds))) - base
+        times["C"] = sched.start_of(f"alpha{t}") - base
+        times["D"] = sched.makespan
+        times["r1"] = (sched.start_of(f"r1_{t}") - base
+                       if f"r1_{t}" in sched.scheduled else times["C"])
+        times["r2"] = (sched.start_of(f"r2_{t}") - base
+                       if f"r2_{t}" in sched.scheduled else times["A"])
+        times["r3"] = (sched.start_of(f"r3_{t}") - base
+                       if f"r3_{t}" in sched.scheduled else times["D"])
+        return times
+
+    def _assign_to_points(self, batch: List[Injection],
+                          point_times: Dict[str, float]
+                          ) -> Dict[str, List[Injection]]:
+        out: Dict[str, List[Injection]] = {"A": [], "B": [], "C": [], "D": []}
+        for inj in batch:
+            if inj.time <= point_times["A"]:
+                out["A"].append(inj)
+            elif inj.time <= point_times["B"]:
+                out["B"].append(inj)
+            elif inj.time <= point_times["C"]:
+                out["C"].append(inj)
+            else:
+                out["D"].append(inj)
+        return out
+
+    def _advance_clock(self, clock: float, iteration: int, makespan1: float,
+                       trace1: ExecutionTrace, recovery_work: Dict[str, float],
+                       fault_service: float, checkpoint_now: bool,
+                       trace_total: ExecutionTrace, faults: bool) -> float:
+        """Second timing pass with the actual recovery durations."""
+        extra_work = sum(recovery_work.values())
+        if not faults and extra_work == 0.0:
+            trace_total.accumulate(trace1)
+            return clock + makespan1
+        cm = self.config.cost_model
+        if self._uses_recovery_tasks():
+            durations = {key: cm.recovery_check() + value
+                         for key, value in recovery_work.items()}
+            graph = self._build_iteration_graph(
+                iteration, resilient=True, recovery_durations=durations,
+                checkpoint=checkpoint_now)
+            sched = self.scheduler.run(graph, start_time=clock,
+                                       execute_actions=False)
+            trace_total.accumulate(sched.trace)
+            return clock + sched.makespan + fault_service
+        # Signal-handler methods (Lossy/ckpt/Trivial): the recovery work is
+        # done in the handler, serialising the faulting worker.
+        trace_total.accumulate(trace1)
+        return clock + makespan1 + extra_work + fault_service
+
+    # ==================================================================
+    # fault handling
+    # ==================================================================
+    def _handle_point(self, state: CGState, injections: List[Injection],
+                      point_times: Dict[str, float], point: str,
+                      iteration: int, this_d: str,
+                      late: Dict[str, Set[int]], stats: RecoveryStats,
+                      z: Optional[np.ndarray] = None,
+                      beta: float = 0.0) -> Dict[str, object]:
+        """Materialise and handle the faults assigned to one check point."""
+        result: Dict[str, object] = {"work": 0.0, "service": 0.0,
+                                     "restart": False, "rollback": False,
+                                     "skip": set()}
+        if not injections:
+            return result
+        memory = state.memory
+        detect_time = point_times[point]
+        in_time: List[Tuple[str, int]] = []
+        for inj in injections:
+            memory.poison(inj.vector, inj.page, time=inj.time,
+                          iteration=iteration)
+            event = memory.touch(inj.vector, inj.page, time=detect_time)
+            if event is None:
+                continue
+            result["service"] += self.config.fault_service_time
+            if self._fault_is_late(point, inj, point_times, this_d):
+                key = "d" if inj.vector == this_d else inj.vector
+                if key in late:
+                    late[key].add(inj.page)
+                    memory.mark_recovered(inj.vector, inj.page)
+                    stats.contributions_skipped += 1
+                    continue
+            in_time.append((inj.vector, inj.page))
+
+        if not in_time:
+            return result
+
+        if self.strategy is None:
+            for vector, page in in_time:
+                state.vectors[vector].zero_page(page)
+                memory.mark_recovered(vector, page)
+            return result
+
+        # Point B: a lost page of the freshly updated d is rebuilt from the
+        # linear-combination relation d = z + beta * d_prev (Table 1, middle
+        # row) because q does not yet reflect the new d.
+        if point == "B" and z is not None:
+            remaining: List[Tuple[str, int]] = []
+            for vector, page in in_time:
+                if vector == this_d:
+                    d_vec = state.vectors[this_d]
+                    sl = d_vec.page_slice(page)
+                    d_prev = state.vectors[state.previous_d_name].array
+                    d_vec.set_page(page, z[sl] + beta * d_prev[sl])
+                    memory.mark_recovered(this_d, page)
+                    stats.pages_recovered += 1
+                    result["work"] += self.config.cost_model.axpy_block(
+                        sl.stop - sl.start)
+                else:
+                    remaining.append((vector, page))
+            in_time = remaining
+            if not in_time:
+                return result
+
+        outcome = self.strategy.handle_lost_pages(state, in_time, iteration)
+        stats.pages_recovered += len(outcome.recovered)
+        stats.pages_unrecoverable += len(outcome.unrecoverable)
+        stats.recovery_work_time += outcome.work_time
+        result["work"] = float(result["work"]) + outcome.work_time
+        result["restart"] = outcome.restart_required
+        result["rollback"] = outcome.rolled_back
+        if outcome.restart_required:
+            stats.restarts += 1
+        result["skip"] = {page for _, page in outcome.unrecoverable}
+        return result
+
+    def _fault_is_late(self, point: str, inj: Injection,
+                       point_times: Dict[str, float], this_d: str) -> bool:
+        """AFEIR vulnerability window: repaired too late for the next scalar?"""
+        if self.strategy is None or not self.strategy.uses_recovery_tasks:
+            return False
+        if self.strategy.recovery_in_critical_path:
+            return False
+        if point == "A" and inj.vector == "g":
+            return inj.time > point_times["r2"]
+        if point == "C" and inj.vector in (this_d, "q"):
+            return inj.time > point_times["r1"]
+        return False
+
+    def _repair_deferred(self, state: CGState, late: Dict[str, Set[int]],
+                         this_d: str, alpha: float,
+                         stats: RecoveryStats) -> Tuple[float, bool]:
+        """Exactly repair AFEIR late pages at point D and redo skipped updates.
+
+        Returns the simulated recovery work time and whether a restart of the
+        Krylov recurrence is needed (related-data conflicts only).
+        """
+        if not any(late.values()):
+            return 0.0, False
+        cm = self.config.cost_model
+        work = 0.0
+        vectors = state.vectors
+        blocked = state.blocked
+        x = vectors["x"].array
+        g = vectors["g"].array
+        d_cur = vectors[this_d].array
+        q = vectors["q"].array
+
+        # q first (needed to repair d), then d (+ redo the x update), then g,
+        # then x; all relations hold exactly at the end of the iteration.
+        need_residual_resync = False
+        for page in sorted(late["q"]):
+            if page in late["d"]:
+                continue                     # related-data conflict, below
+            values = state.matvec_relation.recover_lhs_page(page, d_cur)
+            vectors["q"].set_page(page, values)
+            sl = vectors["q"].page_slice(page)
+            g[sl] -= alpha * values                      # redo skipped g update
+            state.memory.mark_recovered("q", page)
+            work += cm.spmv_block(blocked.nnz_of_block(page))
+            stats.pages_recovered += 1
+        for page in sorted(late["d"]):
+            if page in late["q"]:
+                # Related data lost together: blank the direction page and
+                # resynchronise the residual afterwards so the invariants hold.
+                vectors[this_d].zero_page(page)
+                state.memory.mark_recovered(this_d, page)
+                state.memory.mark_recovered("q", page)
+                stats.pages_unrecoverable += 1
+                need_residual_resync = True
+                continue
+            values = state.matvec_relation.recover_rhs_page(page, q, d_cur)
+            vectors[this_d].set_page(page, values)
+            sl = vectors[this_d].page_slice(page)
+            x[sl] += alpha * values                      # redo skipped x update
+            state.memory.mark_recovered(this_d, page)
+            work += cm.block_solve(blocked.block_size(page),
+                                   factorized=blocked.has_cached_factor(page))
+            stats.pages_recovered += 1
+        for page in sorted(late["g"]):
+            if page in late["x"]:
+                continue                     # related-data conflict, below
+            values = state.residual_relation.recover_residual_page(page, x)
+            vectors["g"].set_page(page, values)
+            state.memory.mark_recovered("g", page)
+            work += cm.spmv_block(blocked.nnz_of_block(page))
+            stats.pages_recovered += 1
+        for page in sorted(late["x"]):
+            if page in late["g"]:
+                vectors["x"].zero_page(page)
+                state.memory.mark_recovered("x", page)
+                state.memory.mark_recovered("g", page)
+                stats.pages_unrecoverable += 1
+                need_residual_resync = True
+                continue
+            values = state.residual_relation.recover_iterate_page(page, g, x)
+            vectors["x"].set_page(page, values)
+            state.memory.mark_recovered("x", page)
+            work += cm.block_solve(blocked.block_size(page),
+                                   factorized=blocked.has_cached_factor(page))
+            stats.pages_recovered += 1
+        if need_residual_resync:
+            np.copyto(g, self.b - self.A @ x)
+            work += cm.kernel_time(2.0 * self.A.nnz,
+                                   12.0 * self.A.nnz + 8.0 * self.n) \
+                * self.config.work_scale
+        for key in late:
+            late[key].clear()
+        stats.recovery_work_time += work
+        return work, need_residual_resync
+
+    def _apply_restart(self, state: CGState) -> None:
+        """Recompute the residual from the iterate after a restart/rollback."""
+        x = state.vectors["x"].array
+        g = state.vectors["g"].array
+        np.copyto(g, self.b - self.A @ x)
+        for page in range(state.vectors["g"].num_pages):
+            state.memory.overwrite("g", page)
+
+    # ==================================================================
+    # numerics helpers
+    # ==================================================================
+    def _masked_dot(self, u: np.ndarray, v: np.ndarray,
+                    skip_pages: Set[int]) -> float:
+        """Dot product excluding the contributions of ``skip_pages``."""
+        total = float(u @ v)
+        if not skip_pages:
+            return total
+        psize = self.config.page_size
+        for page in skip_pages:
+            start = page * psize
+            stop = min(start + psize, self.n)
+            if start >= self.n:
+                continue
+            total -= float(u[start:stop] @ v[start:stop])
+        return total
+
+    def _masked_axpy(self, y: np.ndarray, a: float, v: np.ndarray,
+                     skip_pages: Set[int]) -> None:
+        """``y += a * v`` skipping the pages whose update must be deferred."""
+        if not skip_pages:
+            y += a * v
+            return
+        psize = self.config.page_size
+        keep = np.ones(self.n, dtype=bool)
+        for page in skip_pages:
+            start = page * psize
+            stop = min(start + psize, self.n)
+            if start < self.n:
+                keep[start:stop] = False
+        y[keep] += a * v[keep]

@@ -1,0 +1,144 @@
+"""Tests for the analysis helpers (stats, overheads, histories, tables)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import ConvergenceRecord, ResidualHistory
+from repro.analysis.overheads import (overhead_percent, parallel_efficiency,
+                                      slowdown_percent, speedup)
+from repro.analysis.report import format_percent, format_table
+from repro.analysis.stats import (aggregate_by_key, geometric_mean,
+                                  harmonic_mean, harmonic_mean_overhead,
+                                  mean_and_std)
+
+
+class TestStats:
+    def test_harmonic_mean_basic(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_harmonic_mean_validation(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_harmonic_mean_overhead_handles_zeros(self):
+        assert harmonic_mean_overhead([0.0, 0.0]) == pytest.approx(0.0)
+        assert harmonic_mean_overhead([10.0, 10.0]) == pytest.approx(10.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_aggregate_by_key(self):
+        grouped = aggregate_by_key([("a", 1.0), ("b", 2.0), ("a", 3.0)])
+        assert grouped == {"a": [1.0, 3.0], "b": [2.0]}
+
+    @given(values=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_harmonic_leq_geometric_leq_arithmetic(self, values):
+        hm = harmonic_mean(values)
+        gm = geometric_mean(values)
+        am = float(np.mean(values))
+        assert hm <= gm * (1 + 1e-9)
+        assert gm <= am * (1 + 1e-9)
+
+
+class TestOverheads:
+    def test_overhead_percent(self):
+        assert overhead_percent(1.1, 1.0) == pytest.approx(10.0)
+        assert slowdown_percent(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_overhead_validation(self):
+        with pytest.raises(ValueError):
+            overhead_percent(1.0, 0.0)
+        with pytest.raises(ValueError):
+            overhead_percent(-1.0, 1.0)
+
+    def test_speedup_and_efficiency(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert parallel_efficiency(8.0, 16.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0.0)
+
+
+class TestResidualHistory:
+    def test_append_and_final_values(self):
+        h = ResidualHistory()
+        h.append(0, 0.0, 1.0)
+        h.append(1, 0.5, 0.1)
+        assert len(h) == 2
+        assert h.final_residual == 0.1
+        assert h.final_time == 0.5
+        assert h.final_iteration == 1
+
+    def test_negative_residual_rejected(self):
+        with pytest.raises(ValueError):
+            ResidualHistory().append(0, 0.0, -1.0)
+
+    def test_log_residuals(self):
+        h = ResidualHistory()
+        h.append(0, 0.0, 1.0)
+        h.append(1, 1.0, 1e-5)
+        np.testing.assert_allclose(h.log_residuals(), [0.0, -5.0])
+
+    def test_monotonicity_check(self):
+        h = ResidualHistory()
+        for i, r in enumerate([1.0, 0.5, 0.7]):
+            h.append(i, float(i), r)
+        assert not h.is_monotone()
+        assert h.is_monotone(tolerance=0.5)
+
+    def test_time_to_reach(self):
+        h = ResidualHistory()
+        for i, r in enumerate([1.0, 1e-3, 1e-8]):
+            h.append(i, float(i), r)
+        assert h.time_to_reach(1e-2) == 1.0
+        assert h.time_to_reach(1e-12) is None
+
+    def test_empty_history_defaults(self):
+        h = ResidualHistory()
+        assert h.final_residual == float("inf")
+        assert h.final_time == 0.0
+
+
+class TestConvergenceRecord:
+    def test_slowdown_vs(self):
+        base = ConvergenceRecord(True, 10, 1.0, 1e-10)
+        other = ConvergenceRecord(True, 12, 1.5, 1e-10)
+        assert other.slowdown_vs(base) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            other.slowdown_vs(ConvergenceRecord(True, 1, 0.0, 0.0))
+
+    def test_summary_mentions_status(self):
+        rec = ConvergenceRecord(False, 3, 0.5, 1e-2, method="CG-FEIR",
+                                matrix="thermal2")
+        text = rec.summary()
+        assert "NOT converged" in text and "CG-FEIR" in text
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_column_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_percent(self):
+        assert format_percent(5.366) == "5.37%"

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.stencil import poisson_2d_5pt, stencil_rhs
+from repro.matrices.random_spd import random_dense_spd, random_sparse_spd
+
+
+@pytest.fixture(scope="session")
+def small_spd_system():
+    """A small SPD system (2-D Poisson) with a known solution."""
+    A = poisson_2d_5pt(24)           # n = 576
+    x_star = np.ones(A.shape[0])
+    b = A @ x_star
+    return A, b, x_star
+
+
+@pytest.fixture(scope="session")
+def medium_spd_system():
+    """A medium SPD system used by the resilient solver tests."""
+    A = poisson_2d_5pt(40)           # n = 1600
+    rng = np.random.default_rng(7)
+    x_star = rng.standard_normal(A.shape[0])
+    b = A @ x_star
+    return A, b, x_star
+
+
+@pytest.fixture(scope="session")
+def dense_spd_block():
+    """A dense SPD matrix for diagonal-block recovery tests."""
+    return random_dense_spd(48, condition=50.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def random_sparse_system():
+    """A random sparse SPD system (non-stencil sparsity)."""
+    A = random_sparse_spd(400, density=0.02, seed=11)
+    b = stencil_rhs(A, kind="random", seed=5)
+    return A, b

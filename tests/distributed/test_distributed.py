@@ -1,0 +1,121 @@
+"""Tests for the simulated distributed layer and the scaling model."""
+
+import math
+
+import pytest
+
+from repro.distributed.cluster import ClusterModel
+from repro.distributed.comm import CommunicationModel
+from repro.distributed.partition import StripPartition
+from repro.matrices.stencil import poisson_3d_27pt
+from repro.runtime.cost_model import DEFAULT_COST_MODEL
+
+
+class TestStripPartition:
+    @pytest.fixture(scope="class")
+    def partition(self):
+        return StripPartition(poisson_3d_27pt(8), num_ranks=4)
+
+    def test_rows_are_covered_exactly_once(self, partition):
+        rows = []
+        for p in partition.partitions:
+            rows.extend(range(p.row_start, p.row_stop))
+        assert rows == list(range(partition.n))
+
+    def test_local_nnz_sums_to_total(self, partition):
+        assert sum(p.local_nnz for p in partition.partitions) == partition.A.nnz
+
+    def test_interior_ranks_have_two_neighbours(self, partition):
+        interior = partition.partition(1)
+        assert len(interior.neighbours) >= 2
+
+    def test_halo_positive_for_stencil(self, partition):
+        assert partition.max_halo() > 0
+
+    def test_load_imbalance_close_to_one(self, partition):
+        assert 1.0 <= partition.load_imbalance() < 1.3
+
+    def test_validation(self):
+        A = poisson_3d_27pt(4)
+        with pytest.raises(ValueError):
+            StripPartition(A, 0)
+        with pytest.raises(ValueError):
+            StripPartition(A, A.shape[0] + 1)
+        with pytest.raises(IndexError):
+            StripPartition(A, 2).partition(5)
+
+
+class TestCommunicationModel:
+    def test_halo_exchange_zero_cases(self):
+        comm = CommunicationModel(DEFAULT_COST_MODEL)
+        assert comm.halo_exchange(0, 2) == 0.0
+        assert comm.halo_exchange(100, 0) == 0.0
+
+    def test_halo_exchange_grows_with_volume(self):
+        comm = CommunicationModel(DEFAULT_COST_MODEL)
+        assert comm.halo_exchange(10_000, 2) > comm.halo_exchange(100, 2)
+
+    def test_halo_validation(self):
+        comm = CommunicationModel(DEFAULT_COST_MODEL)
+        with pytest.raises(ValueError):
+            comm.halo_exchange(-1, 1)
+
+    def test_allreduce_log_scaling(self):
+        comm = CommunicationModel(DEFAULT_COST_MODEL)
+        assert comm.allreduce(1) == 0.0
+        assert comm.allreduce(16) == pytest.approx(comm.allreduce(2) * 4)
+
+    def test_broadcast(self):
+        comm = CommunicationModel(DEFAULT_COST_MODEL)
+        assert comm.broadcast(1, 100.0) == 0.0
+        assert comm.broadcast(8, 100.0) > 0.0
+
+
+class TestClusterModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        # Tiny calibration problem so the test stays fast.
+        return ClusterModel(target_points=256, calibration_points=12,
+                            checkpoint_interval=20)
+
+    def test_iteration_time_decreases_with_ranks(self, model):
+        assert model.iteration_time(64) < model.iteration_time(8)
+
+    def test_method_overheads_ordering(self, model):
+        ideal = model.iteration_time(16, "ideal")
+        assert model.iteration_time(16, "AFEIR") >= ideal
+        assert model.iteration_time(16, "FEIR") >= model.iteration_time(16, "AFEIR")
+        assert model.iteration_time(16, "ckpt") > ideal
+
+    def test_parallel_efficiency_reasonable(self, model):
+        eff = model.ideal_parallel_efficiency(1024)
+        assert 0.4 < eff <= 1.0
+
+    def test_run_produces_full_grid(self, model):
+        results = model.run(core_counts=(64, 128), error_counts=(1,))
+        methods = {r.method for r in results}
+        assert "Ideal" in methods and "FEIR" in methods
+        cores = {r.cores for r in results}
+        assert cores == {64, 128}
+
+    def test_speedups_relative_to_64_core_ideal(self, model):
+        results = model.run(core_counts=(64, 128), error_counts=(1,))
+        ideal64 = [r for r in results
+                   if r.method == "Ideal" and r.cores == 64][0]
+        assert ideal64.speedup == pytest.approx(1.0)
+        ideal128 = [r for r in results
+                    if r.method == "Ideal" and r.cores == 128][0]
+        assert 1.0 < ideal128.speedup <= 2.0
+
+    def test_exact_recovery_scales_better_than_checkpoint(self, model):
+        results = model.run(core_counts=(64, 512), error_counts=(1,))
+        def speedup(method, cores):
+            return [r for r in results
+                    if r.method == method and r.cores == cores][0].speedup
+        assert speedup("FEIR", 512) > speedup("ckpt", 512)
+        assert speedup("AFEIR", 512) > speedup("ckpt", 512)
+
+    def test_calibration_is_cached(self, model):
+        first = model._calibrate()
+        second = model._calibrate()
+        assert first is second

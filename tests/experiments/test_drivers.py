@@ -1,0 +1,146 @@
+"""Integration tests for the experiment drivers (scaled-down configurations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, build_problem, run_ideal
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+
+#: A small but representative subset so the driver tests stay quick.
+SMALL_MATRICES = ("qa8fm", "Dubcova3")
+
+
+def quick_config(**overrides):
+    defaults = dict(matrices=SMALL_MATRICES, repetitions=1,
+                    tolerance=1e-8, max_iterations=8000)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestCommon:
+    def test_build_problem_shapes(self):
+        config = quick_config()
+        A, b = build_problem("qa8fm", config)
+        assert A.shape[0] == b.shape[0]
+
+    def test_run_ideal_converges(self):
+        config = quick_config()
+        A, b = build_problem("qa8fm", config)
+        result = run_ideal(A, b, config, matrix_name="qa8fm")
+        assert result.converged
+        assert result.solve_time > 0
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(quick_config())
+
+    def test_all_methods_reported(self, result):
+        assert set(result.overheads) == {"Lossy", "Trivial", "AFEIR", "FEIR",
+                                         "ckpt-1000", "ckpt-200"}
+
+    def test_paper_ordering_holds(self, result):
+        ov = result.overheads
+        assert ov["Lossy"] == pytest.approx(0.0, abs=1e-6)
+        assert ov["Trivial"] == pytest.approx(0.0, abs=1e-6)
+        assert ov["AFEIR"] < ov["FEIR"]
+        assert ov["FEIR"] < ov["ckpt-1000"] < ov["ckpt-200"]
+
+    def test_formatting(self, result):
+        text = format_table2(result)
+        assert "Table 2" in text and "AFEIR" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(quick_config())
+
+    def test_feir_has_more_imbalance_than_afeir(self, result):
+        assert result.increases["FEIR"]["imbalance"] > \
+            result.increases["AFEIR"]["imbalance"]
+
+    def test_runtime_share_increases(self, result):
+        assert result.increases["FEIR"]["runtime"] > 0
+        assert result.increases["AFEIR"]["runtime"] > 0
+
+    def test_formatting(self, result):
+        assert "Table 3" in format_table3(result)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(quick_config(), matrix="Dubcova3", page=2)
+
+    def test_all_curves_present(self, result):
+        assert set(result.histories) == {"Ideal", "AFEIR", "FEIR", "Lossy",
+                                         "ckpt"}
+
+    def test_exact_recoveries_close_to_ideal(self, result):
+        ideal = result.final_times["Ideal"]
+        assert result.final_times["FEIR"] <= 1.2 * ideal
+        assert result.final_times["AFEIR"] <= 1.2 * ideal
+
+    def test_ckpt_and_lossy_slower_than_exact(self, result):
+        assert result.final_times["Lossy"] > result.final_times["AFEIR"]
+        assert result.final_times["ckpt"] > result.final_times["AFEIR"]
+
+    def test_injection_fraction_validation(self):
+        with pytest.raises(ValueError):
+            run_fig3(quick_config(), inject_fraction=1.5)
+
+    def test_formatting(self, result):
+        assert "Figure 3" in format_fig3(result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(quick_config(), rates=(1.0, 10.0),
+                        matrices=("qa8fm",),
+                        methods=("AFEIR", "FEIR", "Lossy", "ckpt"))
+
+    def test_summary_grid_complete(self, result):
+        assert set(result.summary) == {(m, r) for m in
+                                       ("AFEIR", "FEIR", "Lossy", "ckpt")
+                                       for r in (1.0, 10.0)}
+
+    def test_exact_methods_beat_checkpoint(self, result):
+        for rate in (1.0, 10.0):
+            assert result.summary[("FEIR", rate)] < result.summary[("ckpt", rate)]
+            assert result.summary[("AFEIR", rate)] < result.summary[("ckpt", rate)]
+
+    def test_cells_have_statistics(self, result):
+        for cell in result.cells:
+            assert cell.mean_slowdown >= 0.0 or math.isnan(cell.mean_slowdown)
+            assert cell.std_slowdown >= 0.0
+            assert len(cell.runs) == 1
+
+    def test_formatting(self, result):
+        text = format_fig4(result)
+        assert "Figure 4" in text and "rate 10" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(core_counts=(64, 256), error_counts=(1,),
+                        calibration_points=12, target_points=256)
+
+    def test_speedup_reference_is_one(self, result):
+        assert result.speedup("Ideal", 64, 0) == pytest.approx(1.0)
+
+    def test_exact_methods_scale_best(self, result):
+        assert result.speedup("FEIR", 256, 1) > result.speedup("ckpt", 256, 1)
+
+    def test_formatting(self, result):
+        text = format_fig5(result)
+        assert "Figure 5" in text and "parallel efficiency" in text

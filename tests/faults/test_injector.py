@@ -1,0 +1,85 @@
+"""Tests for the exponential-MTBE fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import ExponentialInjector, Injection, null_injector
+
+
+class TestExponentialInjector:
+    def test_rejects_nonpositive_mtbe(self):
+        with pytest.raises(ValueError):
+            ExponentialInjector(0.0)
+
+    def test_sample_times_within_horizon(self):
+        inj = ExponentialInjector(mtbe=1.0, rng=1)
+        times = inj.sample_times(10.0)
+        assert all(0.0 <= t < 10.0 for t in times)
+        assert times == sorted(times)
+
+    def test_sample_times_empty_horizon(self):
+        inj = ExponentialInjector(mtbe=1.0, rng=1)
+        assert inj.sample_times(0.0) == []
+
+    def test_mean_rate_roughly_matches_mtbe(self):
+        inj = ExponentialInjector(mtbe=0.5, rng=12345)
+        times = inj.sample_times(2000.0)
+        # 4000 expected; allow a generous statistical margin.
+        assert 3300 < len(times) < 4700
+
+    def test_deterministic_given_seed(self):
+        a = ExponentialInjector(mtbe=2.0, rng=7).sample_times(50.0)
+        b = ExponentialInjector(mtbe=2.0, rng=7).sample_times(50.0)
+        assert a == b
+
+    def test_schedule_targets_registered_pages(self):
+        pages = [("x", 0), ("x", 1), ("g", 0)]
+        inj = ExponentialInjector(mtbe=0.3, rng=3)
+        schedule = inj.schedule(20.0, pages)
+        assert len(schedule) > 0
+        for item in schedule:
+            assert isinstance(item, Injection)
+            assert (item.vector, item.page) in pages
+
+    def test_schedule_empty_pages(self):
+        inj = ExponentialInjector(mtbe=0.3, rng=3)
+        assert inj.schedule(20.0, []) == []
+
+    def test_expected_errors(self):
+        inj = ExponentialInjector(mtbe=2.0, rng=0)
+        assert inj.expected_errors(10.0) == pytest.approx(5.0)
+
+    def test_from_normalized_rate(self):
+        inj = ExponentialInjector.from_normalized_rate(rate=5.0, ideal_time=10.0)
+        assert inj.mtbe == pytest.approx(2.0)
+
+    def test_from_normalized_rate_zero_gives_null(self):
+        inj = ExponentialInjector.from_normalized_rate(rate=0.0, ideal_time=10.0)
+        assert inj.sample_times(100.0) == []
+        assert inj.expected_errors(100.0) == 0.0
+
+    def test_from_normalized_rate_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialInjector.from_normalized_rate(rate=-1.0, ideal_time=1.0)
+        with pytest.raises(ValueError):
+            ExponentialInjector.from_normalized_rate(rate=1.0, ideal_time=0.0)
+
+    def test_null_injector(self):
+        inj = null_injector()
+        assert inj.sample_times(1e9) == []
+
+
+class TestPageTargetingDistribution:
+    def test_uniform_page_selection(self):
+        """Pages should be hit roughly uniformly (paper: uniform distribution)."""
+        pages = [("v", p) for p in range(8)]
+        inj = ExponentialInjector(mtbe=0.01, rng=99)
+        schedule = inj.schedule(50.0, pages)
+        counts = np.zeros(8)
+        for item in schedule:
+            counts[item.page] += 1
+        assert len(schedule) > 1000
+        # Each page should receive between 60% and 140% of the mean share.
+        mean = counts.mean()
+        assert np.all(counts > 0.6 * mean)
+        assert np.all(counts < 1.4 * mean)

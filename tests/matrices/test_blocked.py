@@ -1,0 +1,100 @@
+"""Tests for the page-blocked matrix view."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.blocked import PageBlockedMatrix
+from repro.matrices.stencil import poisson_2d_5pt
+
+
+@pytest.fixture(scope="module")
+def blocked():
+    A = poisson_2d_5pt(16)          # n = 256
+    return PageBlockedMatrix(A, page_size=64)
+
+
+class TestStructure:
+    def test_block_count(self, blocked):
+        assert blocked.num_blocks == 4
+
+    def test_uneven_last_block(self):
+        A = poisson_2d_5pt(9)        # n = 81
+        b = PageBlockedMatrix(A, page_size=32)
+        assert b.num_blocks == 3
+        assert b.block_size(2) == 81 - 64
+
+    def test_requires_square(self):
+        import scipy.sparse as sp
+        with pytest.raises(ValueError):
+            PageBlockedMatrix(sp.random(4, 5, density=0.5))
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageBlockedMatrix(poisson_2d_5pt(4), page_size=0)
+
+    def test_row_block_shape(self, blocked):
+        rb = blocked.row_block(1)
+        assert rb.shape == (64, 256)
+
+    def test_diag_block_matches_dense(self, blocked):
+        dense = blocked.A.toarray()
+        np.testing.assert_allclose(blocked.diag_block(2),
+                                   dense[128:192, 128:192])
+
+    def test_nnz_of_block_sums_to_total(self, blocked):
+        total = sum(blocked.nnz_of_block(i) for i in range(blocked.num_blocks))
+        assert total == blocked.A.nnz
+
+
+class TestProducts:
+    def test_block_row_product(self, blocked):
+        v = np.random.default_rng(0).standard_normal(256)
+        full = blocked.A @ v
+        np.testing.assert_allclose(blocked.block_row_product(1, v),
+                                   full[64:128])
+
+    def test_offdiag_product(self, blocked):
+        v = np.random.default_rng(1).standard_normal(256)
+        sl = blocked.block_slice(1)
+        expected = (blocked.A @ v)[sl] - blocked.diag_block(1) @ v[sl]
+        np.testing.assert_allclose(blocked.offdiag_product(1, v), expected,
+                                   atol=1e-12)
+
+
+class TestSolves:
+    def test_solve_diag_roundtrip(self, blocked):
+        rng = np.random.default_rng(2)
+        y = rng.standard_normal(blocked.block_size(0))
+        rhs = blocked.diag_block(0) @ y
+        np.testing.assert_allclose(blocked.solve_diag(0, rhs), y, atol=1e-9)
+
+    def test_solve_diag_wrong_size(self, blocked):
+        with pytest.raises(ValueError):
+            blocked.solve_diag(0, np.zeros(3))
+
+    def test_factor_caching(self, blocked):
+        assert not blocked.has_cached_factor(3)
+        blocked.diag_factor(3)
+        assert blocked.has_cached_factor(3)
+
+    def test_precompute_factors(self):
+        b = PageBlockedMatrix(poisson_2d_5pt(8), page_size=16)
+        b.precompute_factors()
+        assert all(b.has_cached_factor(i) for i in range(b.num_blocks))
+
+    def test_coupled_diag_solve(self, blocked):
+        rng = np.random.default_rng(3)
+        blocks = [0, 2]
+        indices = np.concatenate([blocked.page_size * np.array([0, 2])[:, None]
+                                  + np.arange(64)[None, :]]).ravel()
+        sub = blocked.A[indices][:, indices].toarray()
+        y = rng.standard_normal(len(indices))
+        rhs = sub @ y
+        np.testing.assert_allclose(blocked.coupled_diag_solve(blocks, rhs), y,
+                                   atol=1e-9)
+
+    def test_coupled_solve_validation(self, blocked):
+        with pytest.raises(ValueError):
+            blocked.coupled_diag_solve([], np.zeros(0))
+        with pytest.raises(ValueError):
+            blocked.coupled_diag_solve([0], np.zeros(3))

@@ -1,0 +1,120 @@
+"""Tests for stencil and Laplacian generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.laplacian import (graph_laplacian, laplacian_1d,
+                                      laplacian_2d, laplacian_3d)
+from repro.matrices.properties import is_spd, is_symmetric
+from repro.matrices.stencil import (poisson_2d_5pt, poisson_3d_7pt,
+                                    poisson_3d_27pt, stencil_rhs)
+
+
+class TestPoisson27:
+    def test_shape(self):
+        A = poisson_3d_27pt(4)
+        assert A.shape == (64, 64)
+
+    def test_interior_row_has_27_entries(self):
+        A = poisson_3d_27pt(5)
+        # The centre point of the 5^3 grid couples to all 26 neighbours + itself.
+        centre = 2 + 2 * 5 + 2 * 25
+        assert A[centre].nnz == 27
+
+    def test_diagonal_is_26(self):
+        A = poisson_3d_27pt(4)
+        assert np.all(A.diagonal() == 26.0)
+
+    def test_symmetric_positive_definite(self):
+        A = poisson_3d_27pt(5)
+        assert is_spd(A)
+
+    def test_rectangular_grid(self):
+        A = poisson_3d_27pt(3, 4, 5)
+        assert A.shape == (60, 60)
+        assert is_symmetric(A)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            poisson_3d_27pt(0)
+
+    def test_row_sums_nonnegative(self):
+        """Diagonal dominance: 26 minus at most 26 neighbours."""
+        A = poisson_3d_27pt(4)
+        row_sums = np.asarray(A.sum(axis=1)).ravel()
+        assert np.all(row_sums >= -1e-12)
+
+
+class TestClassicStencils:
+    def test_poisson_5pt_structure(self):
+        A = poisson_2d_5pt(10)
+        assert A.shape == (100, 100)
+        assert np.all(A.diagonal() == 4.0)
+        assert is_spd(A)
+
+    def test_poisson_7pt_structure(self):
+        A = poisson_3d_7pt(5)
+        assert A.shape == (125, 125)
+        assert np.all(A.diagonal() == 6.0)
+        assert is_spd(A)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            poisson_2d_5pt(0)
+        with pytest.raises(ValueError):
+            poisson_3d_7pt(0)
+
+    def test_rhs_ones_solution(self):
+        A = poisson_2d_5pt(8)
+        b = stencil_rhs(A, kind="ones")
+        x = sp.linalg.spsolve(A.tocsc(), b)
+        assert np.allclose(x, 1.0, atol=1e-8)
+
+    def test_rhs_random_is_reproducible(self):
+        A = poisson_2d_5pt(8)
+        assert np.allclose(stencil_rhs(A, kind="random", seed=3),
+                           stencil_rhs(A, kind="random", seed=3))
+
+    def test_rhs_unknown_kind(self):
+        with pytest.raises(ValueError):
+            stencil_rhs(poisson_2d_5pt(4), kind="nope")
+
+
+class TestLaplacians:
+    def test_laplacian_1d(self):
+        L = laplacian_1d(5)
+        assert L.shape == (5, 5)
+        assert np.all(L.diagonal() == 2.0)
+
+    def test_laplacian_1d_shift(self):
+        L = laplacian_1d(5, shift=1.0)
+        assert np.all(L.diagonal() == 3.0)
+
+    def test_laplacian_2d_anisotropy(self):
+        iso = laplacian_2d(6, 6)
+        aniso = laplacian_2d(6, 6, anisotropy=4.0)
+        assert aniso.diagonal().max() > iso.diagonal().max()
+        assert is_symmetric(aniso)
+
+    def test_laplacian_3d_spd_with_shift(self):
+        assert is_spd(laplacian_3d(4, shift=0.1))
+
+    def test_laplacian_invalid(self):
+        with pytest.raises(ValueError):
+            laplacian_1d(0)
+
+    def test_graph_laplacian_zero_row_sums(self):
+        rng = np.random.default_rng(0)
+        W = sp.random(30, 30, density=0.2, random_state=rng)
+        L = graph_laplacian(W)
+        assert np.allclose(np.asarray(L.sum(axis=1)).ravel(), 0.0, atol=1e-10)
+
+    def test_graph_laplacian_shift_makes_spd(self):
+        rng = np.random.default_rng(1)
+        W = abs(sp.random(40, 40, density=0.2, random_state=rng))
+        assert is_spd(graph_laplacian(W, shift=0.5))
+
+    def test_graph_laplacian_requires_square(self):
+        with pytest.raises(ValueError):
+            graph_laplacian(sp.random(3, 4, density=0.5))

@@ -1,0 +1,57 @@
+"""Tests for the synthetic UFL-analogue matrix suite."""
+
+import pytest
+
+from repro.matrices.properties import nnz_per_row, spd_check
+from repro.matrices.suite import (PAPER_MATRICES, load_suite, make_matrix,
+                                  scaling_matrix)
+
+EXPECTED_NAMES = {"af_shell8", "cfd2", "consph", "Dubcova3", "ecology2",
+                  "parabolic_fem", "qa8fm", "thermal2", "thermomech"}
+
+
+class TestSuiteContents:
+    def test_all_nine_paper_matrices_present(self):
+        assert set(PAPER_MATRICES) == EXPECTED_NAMES
+
+    def test_metadata_records_original_sizes(self):
+        for info in PAPER_MATRICES.values():
+            assert info.original_n > info.n
+            assert info.original_nnz > 0
+            assert info.family
+
+    def test_make_matrix_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_matrix("not-a-matrix")
+
+    def test_load_suite_subset(self):
+        pairs = load_suite(["qa8fm", "thermal2"])
+        assert [info.name for info, _ in pairs] == ["qa8fm", "thermal2"]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_every_analogue_is_spd(self, name):
+        A = make_matrix(name)
+        report = spd_check(A)
+        assert report.symmetric, f"{name} analogue is not symmetric"
+        assert report.smallest_eigenvalue > 0, f"{name} analogue is not PD"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_analogue_size_matches_metadata(self, name):
+        info = PAPER_MATRICES[name]
+        A = make_matrix(name)
+        assert A.shape == (info.n, info.n)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_reasonable_sparsity(self, name):
+        A = make_matrix(name)
+        assert 2.0 < nnz_per_row(A) < 40.0
+
+    def test_scaling_matrix_is_27pt(self):
+        A = scaling_matrix(8)
+        assert A.shape == (512, 512)
+        assert A.diagonal().max() == 26.0
+
+    def test_builders_are_deterministic(self):
+        a = make_matrix("cfd2")
+        b = make_matrix("cfd2")
+        assert (a != b).nnz == 0

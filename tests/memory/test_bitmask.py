@@ -1,0 +1,97 @@
+"""Tests for the per-page bitmask protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.bitmask import Bitmask
+
+
+class TestBitmask:
+    def test_register_and_mark(self):
+        mask = Bitmask(4, labels=["g", "q"])
+        mask.mark("g", 2)
+        assert mask.is_marked("g", 2)
+        assert not mask.is_marked("q", 2)
+        assert not mask.is_marked("g", 1)
+
+    def test_clear(self):
+        mask = Bitmask(4, labels=["g"])
+        mask.mark("g", 0)
+        mask.clear("g", 0)
+        assert not mask.is_marked("g", 0)
+
+    def test_clear_all(self):
+        mask = Bitmask(8, labels=["g"])
+        for p in range(8):
+            mask.mark("g", p)
+        mask.clear_all("g")
+        assert not mask.any_marked("g")
+
+    def test_marked_pages(self):
+        mask = Bitmask(10, labels=["x"])
+        mask.mark("x", 3)
+        mask.mark("x", 7)
+        assert mask.marked_pages("x") == [3, 7]
+
+    def test_pages_with_any(self):
+        mask = Bitmask(10, labels=["x", "g"])
+        mask.mark("x", 1)
+        mask.mark("g", 5)
+        assert mask.pages_with_any(["x", "g"]) == [1, 5]
+
+    def test_unknown_label_raises(self):
+        mask = Bitmask(4, labels=["g"])
+        with pytest.raises(KeyError):
+            mask.mark("unknown", 0)
+
+    def test_page_out_of_range(self):
+        mask = Bitmask(4, labels=["g"])
+        with pytest.raises(IndexError):
+            mask.mark("g", 4)
+
+    def test_lazy_label_registration(self):
+        mask = Bitmask(4)
+        mask.register("later")
+        mask.mark("later", 1)
+        assert mask.is_marked("later", 1)
+
+    def test_labels_in_bit_order(self):
+        mask = Bitmask(2, labels=["c", "a", "b"])
+        assert mask.labels == ["c", "a", "b"]
+
+    def test_snapshot_and_reset(self):
+        mask = Bitmask(4, labels=["x", "g"])
+        mask.mark("x", 0)
+        mask.mark("g", 3)
+        assert set(mask.snapshot()) == {("x", 0), ("g", 3)}
+        mask.reset()
+        assert mask.snapshot() == []
+
+    def test_too_many_labels(self):
+        mask = Bitmask(2)
+        for k in range(63):
+            mask.register(f"l{k}")
+        with pytest.raises(ValueError):
+            mask.register("overflow")
+
+    def test_invalid_page_count(self):
+        with pytest.raises(ValueError):
+            Bitmask(0)
+
+    @given(ops=st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                                  st.integers(0, 15),
+                                  st.booleans()), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_set_semantics(self, ops):
+        """The bitmask behaves exactly like a set of (label, page) pairs."""
+        mask = Bitmask(16, labels=["a", "b", "c"])
+        reference = set()
+        for label, page, is_mark in ops:
+            if is_mark:
+                mask.mark(label, page)
+                reference.add((label, page))
+            else:
+                mask.clear(label, page)
+                reference.discard((label, page))
+        assert set(mask.snapshot()) == reference

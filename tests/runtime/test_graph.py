@@ -1,0 +1,99 @@
+"""Tests for task graphs."""
+
+import pytest
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Task, TaskKind
+
+
+def chain_graph(durations):
+    graph = TaskGraph()
+    prev = None
+    for i, dur in enumerate(durations):
+        deps = [prev] if prev else []
+        graph.add_task(f"t{i}", dur, deps=deps)
+        prev = f"t{i}"
+    return graph
+
+
+class TestTaskGraph:
+    def test_add_and_lookup(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0)
+        assert "a" in graph
+        assert graph.task("a").duration == 1.0
+
+    def test_duplicate_name(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0)
+        with pytest.raises(ValueError):
+            graph.add_task("a", 2.0)
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            TaskGraph().task("missing")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Task(name="bad", duration=-1.0)
+
+    def test_validate_unknown_dependency(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0, deps=["ghost"])
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0, deps=["b"])
+        graph.add_task("b", 1.0, deps=["a"])
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_topological_order_respects_deps(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0)
+        graph.add_task("b", 1.0, deps=["a"])
+        graph.add_task("c", 1.0, deps=["a", "b"])
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_predecessors_and_successors(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0)
+        graph.add_task("b", 1.0, deps=["a"])
+        assert graph.predecessors("b") == ["a"]
+        assert graph.successors("a") == ["b"]
+
+    def test_critical_path_chain(self):
+        graph = chain_graph([1.0, 2.0, 3.0])
+        assert graph.critical_path_length() == pytest.approx(6.0)
+
+    def test_critical_path_parallel_tasks(self):
+        graph = TaskGraph()
+        graph.add_task("a", 1.0)
+        graph.add_task("b", 5.0)
+        graph.add_task("join", 1.0, deps=["a", "b"])
+        assert graph.critical_path_length() == pytest.approx(6.0)
+
+    def test_total_work(self):
+        graph = chain_graph([1.0, 2.0, 3.0])
+        assert graph.total_work() == pytest.approx(6.0)
+
+    def test_depends_on_builder(self):
+        task = Task(name="t", duration=1.0)
+        task.depends_on("a", "b").depends_on("a")
+        assert task.deps == ["a", "b"]
+
+    def test_merge_graphs_with_links(self):
+        first = chain_graph([1.0, 1.0])
+        second = TaskGraph()
+        second.add_task("next", 2.0)
+        first.merge(second, link_from=["t1"], link_to=["next"])
+        assert first.task("next").deps == ["t1"]
+        assert len(first) == 3
+
+    def test_task_kinds_default(self):
+        graph = TaskGraph()
+        t = graph.add_task("a", 1.0)
+        assert t.kind is TaskKind.COMPUTE

@@ -1,0 +1,156 @@
+"""Tests for the reference Krylov solvers (Listings 1, 3, 4 and 5-7)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.precond.block_jacobi import BlockJacobiPreconditioner
+from repro.precond.jacobi import JacobiPreconditioner
+from repro.solvers.reference import (bicgstab, conjugate_gradient, gmres,
+                                     preconditioned_conjugate_gradient)
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = conjugate_gradient(A, b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-6)
+
+    def test_residual_history_is_recorded(self, small_spd_system):
+        A, b, _ = small_spd_system
+        result = conjugate_gradient(A, b, tol=1e-10)
+        history = result.record.history
+        assert len(history) == result.iterations + 1
+        assert history.residuals[0] > history.final_residual
+
+    def test_superlinear_like_decrease(self, small_spd_system):
+        """Later residuals should be (much) smaller than early ones."""
+        A, b, _ = small_spd_system
+        history = conjugate_gradient(A, b, tol=1e-12).record.history
+        assert history.residuals[-1] < 1e-6 * history.residuals[1]
+
+    def test_zero_rhs(self, small_spd_system):
+        A, _, _ = small_spd_system
+        result = conjugate_gradient(A, np.zeros(A.shape[0]))
+        assert result.converged and result.iterations == 0
+
+    def test_initial_guess(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = conjugate_gradient(A, b, x0=x_star)
+        assert result.converged
+        assert result.iterations <= 1
+
+    def test_max_iterations_respected(self, small_spd_system):
+        A, b, _ = small_spd_system
+        result = conjugate_gradient(A, b, tol=1e-14, max_iterations=3)
+        assert result.iterations <= 3
+        assert not result.converged
+
+    def test_dimension_mismatch(self, small_spd_system):
+        A, b, _ = small_spd_system
+        with pytest.raises(ValueError):
+            conjugate_gradient(A, b[:-1])
+
+    def test_non_spd_breakdown_reported(self):
+        A = sp.diags([1.0, -1.0, 1.0]).tocsr()
+        b = np.ones(3)
+        result = conjugate_gradient(A, b, max_iterations=10)
+        assert not result.converged
+
+    def test_callback_invoked(self, small_spd_system):
+        A, b, _ = small_spd_system
+        calls = []
+        conjugate_gradient(A, b, callback=lambda it, res: calls.append(it))
+        assert calls and calls == sorted(calls)
+
+
+class TestPreconditionedCG:
+    def test_jacobi_preconditioner(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = preconditioned_conjugate_gradient(
+            A, b, preconditioner=JacobiPreconditioner(A))
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-6)
+
+    def test_block_jacobi_reduces_iterations(self, medium_spd_system):
+        A, b, _ = medium_spd_system
+        plain = conjugate_gradient(A, b)
+        pcg = preconditioned_conjugate_gradient(
+            A, b, preconditioner=BlockJacobiPreconditioner(A, page_size=128))
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations
+
+
+class TestBiCGStab:
+    def test_solves_spd_system(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = bicgstab(A, b, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-5)
+
+    def test_solves_nonsymmetric_system(self):
+        rng = np.random.default_rng(0)
+        n = 120
+        A = sp.diags(np.linspace(1.0, 4.0, n)).tolil()
+        A[0, n - 1] = 0.3
+        A[n - 1, 0] = -0.2
+        A = A.tocsr()
+        x_star = rng.standard_normal(n)
+        result = bicgstab(A, A @ x_star, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-6)
+
+    def test_preconditioned_variant(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = bicgstab(A, b, preconditioner=JacobiPreconditioner(A))
+        assert result.converged
+
+    def test_zero_rhs(self, small_spd_system):
+        A, _, _ = small_spd_system
+        assert bicgstab(A, np.zeros(A.shape[0])).converged
+
+    def test_dimension_mismatch(self, small_spd_system):
+        A, b, _ = small_spd_system
+        with pytest.raises(ValueError):
+            bicgstab(A, b[:-2])
+
+
+class TestGMRES:
+    def test_solves_spd_system(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = gmres(A, b, restart=40, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-5)
+
+    def test_solves_nonsymmetric_system(self):
+        rng = np.random.default_rng(3)
+        n = 80
+        A = sp.eye(n).tolil()
+        for i in range(n - 1):
+            A[i, i + 1] = 0.4
+        A = (A + sp.diags(np.linspace(1, 2, n))).tocsr()
+        x_star = rng.standard_normal(n)
+        result = gmres(A, A @ x_star, restart=30, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_star, atol=1e-5)
+
+    def test_restart_parameter_validation(self, small_spd_system):
+        A, b, _ = small_spd_system
+        with pytest.raises(ValueError):
+            gmres(A, b, restart=0)
+
+    def test_preconditioned_gmres(self, small_spd_system):
+        A, b, x_star = small_spd_system
+        result = gmres(A, b, restart=30,
+                       preconditioner=JacobiPreconditioner(A))
+        assert result.converged
+
+    def test_zero_rhs(self, small_spd_system):
+        A, _, _ = small_spd_system
+        assert gmres(A, np.zeros(A.shape[0])).converged
+
+    def test_max_iterations(self, small_spd_system):
+        A, b, _ = small_spd_system
+        result = gmres(A, b, restart=5, tol=1e-14, max_iterations=8)
+        assert result.iterations <= 8
