@@ -17,6 +17,17 @@ from repro.experiments.common import ExperimentConfig
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench`` (and ``slow``).
+
+    Tier-1 (`pytest` with the default addopts) deselects these markers;
+    the weekly CI job opts back in with ``-m "bench or slow"``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
+
 #: Matrices used by the scaled-down default benchmark runs.
 QUICK_MATRICES = ("qa8fm", "Dubcova3", "consph", "thermomech")
 #: Error rates used by the scaled-down Figure 4 sweep.

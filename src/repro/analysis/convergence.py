@@ -9,7 +9,7 @@ convergence-vs-slowdown comparisons of Figure 4) can be regenerated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -1,0 +1,94 @@
+"""Command-line campaign runner.
+
+Usage::
+
+    python -m repro.campaign --matrix laplacian2d:45 --methods FEIR AFEIR \
+        --rates 1 10 --trials 8 --executor process --workers 4
+
+    python -m repro.campaign --matrix qa8fm --trials 4 --executor serial
+
+Prints the aggregated slowdown table plus the result fingerprint; the
+fingerprint is identical across executors for the same spec and seed,
+which the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.executors import EXECUTOR_NAMES, make_executor
+from repro.campaign.spec import CampaignSpec, SolverKnobs
+from repro.config import DEFAULT_SEED
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a fault-injection campaign over the resilient CG.")
+    parser.add_argument("--matrix", nargs="+", default=["laplacian2d:45"],
+                        help="matrix specs: suite names (qa8fm) or "
+                             "parametric families (laplacian2d:45, "
+                             "laplacian2d:64x32, poisson3d27:12)")
+    parser.add_argument("--methods", nargs="+",
+                        default=["FEIR"],
+                        help="recovery methods (FEIR AFEIR Lossy ckpt "
+                             "Trivial)")
+    parser.add_argument("--rates", nargs="+", type=float, default=[1.0],
+                        help="normalised error rates")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="repetitions per (matrix, method, rate) cell")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="campaign master seed")
+    parser.add_argument("--executor", choices=EXECUTOR_NAMES,
+                        default="serial")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool worker count (pool executors only)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="trials per pool task (chunked executor only)")
+    parser.add_argument("--tolerance", type=float, default=1e-8)
+    parser.add_argument("--max-iterations", type=int, default=20000)
+    parser.add_argument("--page-size", type=int, default=128)
+    parser.add_argument("--preconditioned", action="store_true")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-trial progress lines")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spec = CampaignSpec(
+            matrices=list(args.matrix), methods=list(args.methods),
+            rates=list(args.rates), repetitions=args.trials, seed=args.seed,
+            knobs=SolverKnobs(tolerance=args.tolerance,
+                              max_iterations=args.max_iterations,
+                              page_size=args.page_size,
+                              preconditioned=args.preconditioned),
+            name="cli")
+        executor = make_executor(args.executor, max_workers=args.workers,
+                                 chunk_size=args.chunk_size)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign: {spec.describe()}")
+    print(f"executor: {executor.describe()}")
+
+    def progress(trial, done, total):
+        status = "ok" if trial.converged else "DIVERGED"
+        print(f"  [{done}/{total}] {trial.matrix} {trial.method} "
+              f"rate={trial.rate:g} rep={trial.repetition}: {status} "
+              f"({trial.iterations} it, {trial.wall_time:.2f}s wall)")
+
+    result = run_campaign(spec, executor=executor,
+                          progress=None if args.quiet else progress)
+    print()
+    print(result.format())
+    print(f"\ntrials: {len(result)}  wall time: {result.wall_time:.2f}s")
+    print(f"fingerprint: {result.fingerprint()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The campaign engine: expand a spec, execute trials, aggregate results.
+
+The execution model keeps workers cheap and results deterministic:
+
+* each worker process rebuilds its problem from the :class:`MatrixSpec`
+  (matrices are never pickled across the pool) and memoises both the
+  built matrix and the fault-free *ideal* baseline per
+  ``(matrix, knobs)`` key, so a process touching 50 trials of the same
+  cell pays for one build and one baseline solve;
+* the ideal baseline is fully deterministic, so every process computes
+  the exact same ``ideal_time`` and trials agree bit-for-bit no matter
+  where they ran;
+* per-trial randomness comes exclusively from the trial's spawned
+  :class:`numpy.random.SeedSequence` (see ``campaign.spec``), threaded
+  through :class:`~repro.faults.scenarios.ErrorScenario` into the
+  injector's private Generator.
+
+``run_campaign`` streams results as the executor completes them into a
+:class:`CampaignResult` whose aggregation is order-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.campaign.executors import CampaignExecutor, SerialExecutor
+from repro.campaign.results import CampaignResult, TrialResult
+from repro.campaign.spec import CampaignSpec, MatrixSpec, SolverKnobs, TrialSpec
+
+# ----------------------------------------------------------------------
+# per-process memoisation (survives across trials within one worker)
+# ----------------------------------------------------------------------
+_PROBLEM_CACHE: Dict[MatrixSpec, tuple] = {}
+_IDEAL_CACHE: Dict[Tuple[MatrixSpec, SolverKnobs], float] = {}
+
+
+def _solver_config(knobs: SolverKnobs):
+    from repro.solvers.resilient_cg import SolverConfig
+    return SolverConfig(tolerance=knobs.tolerance,
+                        max_iterations=knobs.max_iterations,
+                        num_workers=knobs.num_workers,
+                        page_size=knobs.page_size,
+                        cost_model=knobs.cost_model,
+                        work_scale=knobs.work_scale,
+                        record_history=knobs.record_history)
+
+
+def _problem(matrix: MatrixSpec) -> tuple:
+    if matrix not in _PROBLEM_CACHE:
+        _PROBLEM_CACHE[matrix] = matrix.build()
+    return _PROBLEM_CACHE[matrix]
+
+
+def _make_solver(matrix: MatrixSpec, knobs: SolverKnobs,
+                 method: Optional[str], scenario):
+    from repro.core.manager import make_strategy
+    from repro.precond.block_jacobi import BlockJacobiPreconditioner
+    from repro.solvers.resilient_cg import ResilientCG
+    A, b = _problem(matrix)
+    strategy = None
+    if method is not None:
+        strategy = make_strategy(method, cost_model=knobs.cost_model,
+                                 checkpoint_interval=knobs.checkpoint_interval)
+    preconditioner = None
+    if knobs.preconditioned:
+        preconditioner = BlockJacobiPreconditioner(A,
+                                                   page_size=knobs.page_size)
+    return ResilientCG(A, b, strategy=strategy,
+                       preconditioner=preconditioner, scenario=scenario,
+                       config=_solver_config(knobs),
+                       matrix_name=matrix.label)
+
+
+def _ideal_time(matrix: MatrixSpec, knobs: SolverKnobs) -> float:
+    """Fault-free baseline solve time (memoised per process)."""
+    key = (matrix, knobs)
+    if key not in _IDEAL_CACHE:
+        result = _make_solver(matrix, knobs, None, None).solve()
+        if not result.record.converged:
+            raise RuntimeError(
+                f"ideal baseline did not converge on {matrix.label} "
+                f"within {knobs.max_iterations} iterations; the campaign "
+                f"overheads would be meaningless")
+        _IDEAL_CACHE[key] = result.record.solve_time
+    return _IDEAL_CACHE[key]
+
+
+def run_trial(trial: TrialSpec) -> TrialResult:
+    """Execute one campaign trial (module-level: picklable for pools)."""
+    started = time.perf_counter()
+    ideal_time = _ideal_time(trial.matrix, trial.knobs)
+    solver = _make_solver(trial.matrix, trial.knobs, trial.method,
+                          trial.make_scenario())
+    result = solver.solve(ideal_time=ideal_time)
+    record = result.record
+    return TrialResult(
+        index=trial.index, matrix=trial.matrix.label, method=trial.method,
+        rate=trial.rate, repetition=trial.repetition,
+        converged=record.converged, iterations=record.iterations,
+        solve_time=record.solve_time, ideal_time=ideal_time,
+        final_residual=record.final_residual,
+        faults_injected=record.faults_injected,
+        faults_detected=record.faults_detected,
+        restarts=record.restarts, rollbacks=record.rollbacks,
+        pages_recovered=result.stats.pages_recovered,
+        pages_unrecoverable=result.stats.pages_unrecoverable,
+        wall_time=time.perf_counter() - started)
+
+
+def clear_caches() -> None:
+    """Drop the per-process memoisation (tests, memory pressure)."""
+    _PROBLEM_CACHE.clear()
+    _IDEAL_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def run_campaign(spec: CampaignSpec,
+                 executor: Optional[CampaignExecutor] = None,
+                 progress: Optional[Callable[[TrialResult, int, int],
+                                             None]] = None
+                 ) -> CampaignResult:
+    """Expand ``spec`` and execute every trial through ``executor``.
+
+    ``progress`` (if given) is called after each completed trial with
+    ``(trial_result, completed_count, total_count)`` — trials may
+    complete out of order under the pool executors.
+    """
+    executor = executor or SerialExecutor()
+    trials = spec.expand()
+    result = CampaignResult(name=spec.name, executor=executor.describe())
+    started = time.perf_counter()
+    completed = 0
+    for trial_result in executor.run(run_trial, trials):
+        completed += 1
+        result.add(trial_result)
+        if progress is not None:
+            progress(trial_result, completed, len(trials))
+    result.wall_time = time.perf_counter() - started
+    if completed != len(trials):
+        raise RuntimeError(f"executor {executor.describe()} returned "
+                           f"{completed} results for {len(trials)} trials")
+    return result
+
+
+def run_trials(trials: Sequence[TrialSpec],
+               executor: Optional[CampaignExecutor] = None) -> CampaignResult:
+    """Execute an explicit trial list (used by the experiment drivers)."""
+    executor = executor or SerialExecutor()
+    result = CampaignResult(executor=executor.describe())
+    started = time.perf_counter()
+    result.extend(executor.run(run_trial, list(trials)))
+    result.wall_time = time.perf_counter() - started
+    return result

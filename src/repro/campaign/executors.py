@@ -1,0 +1,147 @@
+"""Pluggable trial executors: serial, process pool, chunked batches.
+
+All executors implement the same contract: ``run(fn, items)`` yields
+``fn(item)`` results *as they complete* (any order); the engine reorders
+by trial index before aggregating, so every executor produces identical
+campaign statistics.  Three are provided:
+
+* :class:`SerialExecutor` — in-process loop; zero overhead, the
+  reference for the equivalence tests.
+* :class:`ProcessPoolExecutor` — one task per trial on a
+  ``concurrent.futures`` process pool; best when trials are slow
+  relative to pickling.
+* :class:`ChunkedExecutor` — batches of trials per pool task; amortises
+  process round-trips when trials are short and numerous.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Registry of executor names understood by :func:`make_executor`.
+EXECUTOR_NAMES = ("serial", "process", "chunked")
+
+
+def default_worker_count() -> int:
+    """Worker count for the pool executors: all cores, at least one."""
+    return max(1, os.cpu_count() or 1)
+
+
+class CampaignExecutor:
+    """Base class: maps a function over items, yielding unordered results."""
+
+    name = "base"
+
+    def run(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialExecutor(CampaignExecutor):
+    """Run every trial in-process, in submission order."""
+
+    name = "serial"
+
+    def run(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        for item in items:
+            yield fn(item)
+
+
+class ProcessPoolExecutor(CampaignExecutor):
+    """One pool task per trial (``concurrent.futures`` process pool)."""
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers or default_worker_count()
+
+    def describe(self) -> str:
+        return f"{self.name}({self.max_workers} workers)"
+
+    def run(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        if not items:
+            return
+        if self.max_workers == 1 or len(items) == 1:
+            # A one-worker pool only adds IPC; keep semantics, skip cost.
+            yield from SerialExecutor().run(fn, items)
+            return
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(items))) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            yield from _drain(futures)
+
+
+def _drain(futures) -> Iterator:
+    """Yield future results as completed; on any error cancel what has
+    not started yet so a failing trial surfaces immediately instead of
+    after the rest of the campaign."""
+    try:
+        for future in concurrent.futures.as_completed(futures):
+            yield future.result()
+    except BaseException:
+        for pending in futures:
+            pending.cancel()
+        raise
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: List[T]) -> List[R]:
+    """Module-level so chunk tasks stay picklable."""
+    return [fn(item) for item in chunk]
+
+
+class ChunkedExecutor(CampaignExecutor):
+    """Process pool fed with fixed-size batches of trials per task."""
+
+    name = "chunked"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None):
+        self.max_workers = max_workers or default_worker_count()
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def describe(self) -> str:
+        return (f"{self.name}({self.max_workers} workers, "
+                f"chunk={self.chunk_size or 'auto'})")
+
+    def _chunks(self, items: Sequence[T]) -> List[List[T]]:
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker balances load without per-trial IPC.
+            size = max(1, len(items) // (4 * self.max_workers) or 1)
+        return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+    def run(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        if not items:
+            return
+        chunks = self._chunks(items)
+        if self.max_workers == 1 or len(chunks) == 1:
+            yield from SerialExecutor().run(fn, items)
+            return
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(chunks))) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            for batch in _drain(futures):
+                yield from batch
+
+
+def make_executor(name: str, max_workers: Optional[int] = None,
+                  chunk_size: Optional[int] = None) -> CampaignExecutor:
+    """Build an executor from its registry name."""
+    key = name.strip().lower()
+    if key == "serial":
+        return SerialExecutor()
+    if key in ("process", "pool", "process-pool"):
+        return ProcessPoolExecutor(max_workers=max_workers)
+    if key in ("chunked", "chunk", "batch"):
+        return ChunkedExecutor(max_workers=max_workers, chunk_size=chunk_size)
+    raise ValueError(f"unknown executor {name!r}; "
+                     f"known executors: {', '.join(EXECUTOR_NAMES)}")

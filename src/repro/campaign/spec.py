@@ -1,0 +1,261 @@
+"""Declarative description of a fault-injection campaign.
+
+A campaign is the paper's evaluation unit: a grid of
+
+    matrix family x solver method x recovery strategy x fault scenario
+    x error-rate x repetition
+
+whose cells are *independent* solver trials (Figs. 4-5 are thousands of
+them).  :class:`CampaignSpec` describes the grid declaratively;
+:meth:`CampaignSpec.expand` turns it into a flat list of picklable
+:class:`TrialSpec` objects, each carrying everything a worker process
+needs to rebuild its problem and run its solve — including a private
+:class:`numpy.random.SeedSequence` spawned from the campaign seed, so
+results do not depend on which executor (serial, process pool, chunked)
+runs the trials or in which order they complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import (DEFAULT_MAX_ITERATIONS, DEFAULT_SEED,
+                          DEFAULT_TOLERANCE, DEFAULT_WORKERS)
+from repro.faults.scenarios import ErrorScenario
+from repro.runtime.cost_model import DEFAULT_COST_MODEL, CostModel
+
+def _operator_to_scipy(A):
+    """SciPy CSR view of a SparseOperator (``sparse=False`` on a family
+    that builds SciPy-free by default)."""
+    import scipy.sparse as sp
+    return sp.csr_matrix((A.data, A.indices, A.indptr), shape=A.shape)
+
+
+#: Matrix families the campaign engine can build by name.  ``suite:*``
+#: entries come from :data:`repro.matrices.suite.PAPER_MATRICES`;
+#: ``laplacian1d``/``laplacian2d`` are built SciPy-free directly as
+#: :class:`~repro.matrices.sparse.SparseOperator` CSR;
+#: ``poisson2d``/``poisson3d27`` use the stencil generators.
+MATRIX_FAMILIES = ("suite", "laplacian1d", "laplacian2d", "poisson2d",
+                   "poisson3d27")
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One matrix family instance, rebuildable inside any worker process.
+
+    ``family='suite'`` interprets ``name`` as a
+    :data:`~repro.matrices.suite.PAPER_MATRICES` key; the parametric
+    families use ``params`` (e.g. ``{'nx': 45, 'ny': 45}``).  With
+    ``sparse=True`` the matrix is materialised as a SciPy-free
+    :class:`~repro.matrices.sparse.SparseOperator`, the fast path that
+    makes n >= 10^4 trials affordable.
+    """
+
+    family: str = "suite"
+    name: str = ""
+    params: Tuple[Tuple[str, int], ...] = ()
+    sparse: bool = False
+    rhs_seed: int = DEFAULT_SEED
+
+    def __post_init__(self):
+        if self.family not in MATRIX_FAMILIES:
+            raise ValueError(f"unknown matrix family {self.family!r}; "
+                             f"known families: {', '.join(MATRIX_FAMILIES)}")
+
+    @property
+    def label(self) -> str:
+        if self.family == "suite":
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}({inner})"
+
+    @classmethod
+    def suite(cls, name: str, sparse: bool = False,
+              rhs_seed: int = DEFAULT_SEED) -> "MatrixSpec":
+        return cls(family="suite", name=name, sparse=sparse,
+                   rhs_seed=rhs_seed)
+
+    @classmethod
+    def parametric(cls, family: str, sparse: bool = True,
+                   rhs_seed: int = DEFAULT_SEED, **params: int) -> "MatrixSpec":
+        return cls(family=family, name="",
+                   params=tuple(sorted(params.items())), sparse=sparse,
+                   rhs_seed=rhs_seed)
+
+    @classmethod
+    def parse(cls, text: str, sparse: bool = True) -> "MatrixSpec":
+        """Parse CLI shorthand: ``qa8fm``, ``laplacian2d:45`` or
+        ``laplacian2d:45x52``."""
+        if ":" not in text:
+            from repro.matrices.suite import PAPER_MATRICES
+            if text not in PAPER_MATRICES:
+                raise ValueError(
+                    f"unknown suite matrix {text!r}; available: "
+                    f"{', '.join(sorted(PAPER_MATRICES))} (or a parametric "
+                    f"family like laplacian2d:45)")
+            return cls.suite(text, sparse=sparse)
+        family, _, args = text.partition(":")
+        try:
+            dims = [int(d) for d in args.lower().split("x") if d]
+        except ValueError:
+            raise ValueError(f"matrix spec {text!r}: dimensions after ':' "
+                             f"must be integers (e.g. laplacian2d:45 or "
+                             f"laplacian2d:64x32)") from None
+        if not dims:
+            raise ValueError(f"matrix spec {text!r} has no dimensions")
+        if family == "laplacian1d":
+            return cls.parametric("laplacian1d", sparse=sparse, n=dims[0])
+        if family in ("laplacian2d", "poisson2d"):
+            nx = dims[0]
+            ny = dims[1] if len(dims) > 1 else dims[0]
+            return cls.parametric(family, sparse=sparse, nx=nx, ny=ny)
+        if family == "poisson3d27":
+            return cls.parametric("poisson3d27", sparse=sparse, nx=dims[0])
+        raise ValueError(f"unknown matrix family {family!r}")
+
+    def build(self):
+        """Materialise ``(A, b)`` for this spec (runs inside workers)."""
+        from repro.matrices.sparse import (SparseOperator,
+                                           laplacian_1d_operator,
+                                           laplacian_2d_operator)
+        from repro.matrices.stencil import stencil_rhs
+        params = dict(self.params)
+        if self.family == "suite":
+            from repro.matrices.suite import PAPER_MATRICES
+            A = PAPER_MATRICES[self.name].build()
+            if self.sparse:
+                A = SparseOperator.from_scipy(A)
+        elif self.family == "laplacian1d":
+            A = laplacian_1d_operator(params["n"], shift=1e-3)
+            if not self.sparse:
+                A = _operator_to_scipy(A)
+        elif self.family == "laplacian2d":
+            A = laplacian_2d_operator(params["nx"], params.get("ny"))
+            if not self.sparse:
+                A = _operator_to_scipy(A)
+        elif self.family == "poisson2d":
+            from repro.matrices.stencil import poisson_2d_5pt
+            A = poisson_2d_5pt(params["nx"], params.get("ny"))
+            if self.sparse:
+                A = SparseOperator.from_scipy(A)
+        elif self.family == "poisson3d27":
+            from repro.matrices.stencil import poisson_3d_27pt
+            A = poisson_3d_27pt(params["nx"])
+            if self.sparse:
+                A = SparseOperator.from_scipy(A)
+        else:  # pragma: no cover - guarded by __post_init__
+            raise ValueError(f"unknown matrix family {self.family!r}")
+        b = stencil_rhs(A, kind="random", seed=self.rhs_seed)
+        return A, b
+
+
+@dataclass(frozen=True)
+class SolverKnobs:
+    """Solver configuration shared by every trial of a campaign."""
+
+    tolerance: float = DEFAULT_TOLERANCE
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+    num_workers: int = DEFAULT_WORKERS
+    page_size: int = 128
+    work_scale: float = 200.0
+    preconditioned: bool = False
+    checkpoint_interval: Optional[int] = None
+    record_history: bool = False
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent solver run of the campaign grid (picklable)."""
+
+    index: int
+    matrix: MatrixSpec
+    method: str
+    rate: float
+    repetition: int
+    seed: np.random.SeedSequence
+    knobs: SolverKnobs = SolverKnobs()
+    #: Overrides the rate-based Poisson scenario when set (targeted
+    #: injection grids; the per-trial seed is threaded in regardless).
+    scenario: Optional[ErrorScenario] = None
+
+    def make_scenario(self) -> ErrorScenario:
+        """The concrete, per-trial-seeded scenario this trial runs."""
+        if self.scenario is not None:
+            return self.scenario.reseeded(self.seed)
+        if self.rate <= 0:
+            return ErrorScenario(name="fault-free", normalized_rate=0.0,
+                                 seed=self.seed)
+        return ErrorScenario(
+            name=f"{self.matrix.label}-rate{self.rate:g}-rep{self.repetition}",
+            normalized_rate=float(self.rate), seed=self.seed)
+
+
+@dataclass
+class CampaignSpec:
+    """The declarative campaign grid.
+
+    ``expand()`` enumerates matrices (outer) x rates x methods x
+    repetitions (inner) in a deterministic order and spawns one
+    independent child :class:`~numpy.random.SeedSequence` per trial from
+    ``seed``.
+    """
+
+    matrices: Sequence[Union[MatrixSpec, str]] = ()
+    methods: Sequence[str] = ("FEIR",)
+    rates: Sequence[float] = (1.0,)
+    repetitions: int = 1
+    seed: int = DEFAULT_SEED
+    knobs: SolverKnobs = field(default_factory=SolverKnobs)
+    scenario: Optional[ErrorScenario] = None
+    name: str = "campaign"
+
+    def __post_init__(self):
+        if self.repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, "
+                             f"got {self.repetitions}")
+        self.matrices = tuple(
+            m if isinstance(m, MatrixSpec) else MatrixSpec.parse(m)
+            for m in self.matrices)
+        if not self.matrices:
+            raise ValueError("a campaign needs at least one matrix")
+        if not self.methods:
+            raise ValueError("a campaign needs at least one method")
+
+    @property
+    def num_trials(self) -> int:
+        return (len(self.matrices) * len(self.methods) * len(self.rates)
+                * self.repetitions)
+
+    def expand(self) -> List[TrialSpec]:
+        """The flat, deterministic trial list with per-trial seed spawns."""
+        children = np.random.SeedSequence(self.seed).spawn(self.num_trials)
+        trials: List[TrialSpec] = []
+        index = 0
+        for matrix in self.matrices:
+            for rate in self.rates:
+                for method in self.methods:
+                    for rep in range(self.repetitions):
+                        trials.append(TrialSpec(
+                            index=index, matrix=matrix, method=method,
+                            rate=float(rate), repetition=rep,
+                            seed=children[index], knobs=self.knobs,
+                            scenario=self.scenario))
+                        index += 1
+        return trials
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-friendly summary (logging, CLI)."""
+        return {
+            "name": self.name,
+            "matrices": [m.label for m in self.matrices],
+            "methods": list(self.methods),
+            "rates": [float(r) for r in self.rates],
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "trials": self.num_trials,
+        }

@@ -39,8 +39,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.strategy import RecoveryOutcome, RecoveryStrategy
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 
@@ -138,9 +136,9 @@ class FEIRStrategy(RecoveryStrategy):
             outcome.unrecoverable.append((rhs_name, page))
         lhs_vec = state.vectors[lhs_name]
         if lhs_name == "g":
-            lhs_vec.fill_from(state.b - state.blocked.A @ rhs_vec.array)
+            lhs_vec.fill_from(state.b - state.blocked.matvec(rhs_vec.array))
         else:
-            lhs_vec.fill_from(state.blocked.A @ rhs_vec.array)
+            lhs_vec.fill_from(state.blocked.matvec(rhs_vec.array))
         for page in set(lhs_pages) | set(conflict_pages):
             state.memory.mark_recovered(lhs_name, page)
             outcome.recovered.append((lhs_name, page))

@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.matrices.blocked import PageBlockedMatrix
 
@@ -48,8 +47,8 @@ def least_squares_interpolation(blocked: PageBlockedMatrix, page: int,
     sl = blocked.block_slice(page)
     masked = np.array(rhs_vector, copy=True)
     masked[sl] = 0.0
-    residual = lhs - blocked.A @ masked
-    columns = blocked.A[:, sl.start:sl.stop].toarray()
+    residual = lhs - blocked.matvec(masked)
+    columns = blocked.column_block_dense(page)
     solution, *_ = np.linalg.lstsq(columns, residual, rcond=None)
     return solution
 

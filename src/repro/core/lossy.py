@@ -21,7 +21,7 @@ the property-based tests can check
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

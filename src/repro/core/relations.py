@@ -14,6 +14,12 @@ Each relation object knows how to rebuild one lost page of either side,
 given the surviving data.  They are deliberately independent of any
 particular solver: CG, BiCGStab and GMRES all assemble their protection
 out of these three shapes (Section 3.1).
+
+All matrix work goes through :class:`PageBlockedMatrix` block kernels,
+which dispatch to either a SciPy CSR backend or the SciPy-free
+:class:`~repro.matrices.sparse.SparseOperator` row-slab fast path — a
+page recovery therefore only ever touches the nonzeros of the affected
+block row, never a dense ``n x n`` intermediate.
 """
 
 from __future__ import annotations

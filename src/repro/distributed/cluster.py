@@ -22,11 +22,8 @@ count (64 cores = 8 ranks), exactly as in the paper.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
-
-import numpy as np
 
 from repro.core.manager import STRATEGY_NAMES, make_strategy
 from repro.distributed.comm import CommunicationModel
@@ -50,6 +47,62 @@ class ScalingResult:
     parallel_efficiency: float
 
 
+@dataclass(frozen=True)
+class CalibrationTask:
+    """One (method, error count) calibration solve — picklable, so the
+    calibration grid can be fanned out over a campaign executor."""
+
+    method: str
+    errors: int
+    calibration_points: int
+    workers_per_rank: int
+    tolerance: float
+    checkpoint_interval: int
+    tau: float
+    pages: int
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+
+#: Per-process cache of the calibration problem (the same 27-point
+#: Poisson system serves every cell of the grid).
+_CALIBRATION_PROBLEMS: Dict[int, tuple] = {}
+
+
+def _calibration_problem(points: int) -> tuple:
+    if points not in _CALIBRATION_PROBLEMS:
+        A = poisson_3d_27pt(points)
+        _CALIBRATION_PROBLEMS[points] = (A, stencil_rhs(A))
+    return _CALIBRATION_PROBLEMS[points]
+
+
+def run_calibration_task(task: CalibrationTask):
+    """``(task, measured iteration count)`` of one calibration cell.
+
+    Module-level so process-pool executors can pickle it; the task is
+    echoed back because pool executors complete work out of order.
+    """
+    A, b = _calibration_problem(task.calibration_points)
+    cfg = SolverConfig(num_workers=task.workers_per_rank, page_size=128,
+                       tolerance=task.tolerance, record_history=False)
+    if task.errors == 0:
+        scenario: Optional[ErrorScenario] = None
+    else:
+        # Errors hit pages of the iterate at evenly spread times,
+        # mirroring the paper's "1 and 2 errors per run".
+        injections = [Injection(time=task.tau * (k + 1) / (task.errors + 1),
+                                vector="x",
+                                page=(7 * (k + 1)) % max(task.pages, 1))
+                      for k in range(task.errors)]
+        scenario = multi_error_scenario(injections,
+                                        name=f"{task.method}-{task.errors}err")
+    strategy = make_strategy(task.method, cost_model=task.cost_model,
+                             checkpoint_interval=task.checkpoint_interval)
+    solver = ResilientCG(A, b, strategy=strategy, scenario=scenario,
+                         config=cfg)
+    record = solver.solve(ideal_time=task.tau).record
+    return task, max(record.iterations, 1)
+
+
 @dataclass
 class ClusterModel:
     """Analytic MPI+tasks scaling model calibrated on small-problem runs."""
@@ -69,42 +122,44 @@ class ClusterModel:
     # ------------------------------------------------------------------
     # calibration runs (real numerics on the small problem)
     # ------------------------------------------------------------------
-    def _calibrate(self) -> Dict:
-        """Measure iteration counts per (method, errors) on the small problem."""
+    def _calibrate(self, executor=None) -> Dict:
+        """Measure iteration counts per (method, errors) on the small problem.
+
+        ``executor`` is an optional
+        :class:`~repro.campaign.executors.CampaignExecutor`; the 15-cell
+        (method x error count) grid of real solver runs is independent
+        work, so it maps over the campaign executors exactly like
+        fault-injection trials do.
+        """
         if self._calibration:
             return self._calibration
-        A = poisson_3d_27pt(self.calibration_points)
-        b = stencil_rhs(A)
+        A, b = _calibration_problem(self.calibration_points)
         cfg = SolverConfig(num_workers=self.workers_per_rank, page_size=128,
                            tolerance=self.tolerance, record_history=False)
-        ideal = ResilientCG(A, b, config=cfg).solve()
+        ideal_solver = ResilientCG(A, b, config=cfg)
+        pages = ideal_solver.blocked.num_blocks
+        ideal = ideal_solver.solve()
         tau = ideal.record.solve_time
-        pages = ResilientCG(A, b, config=cfg).blocked.num_blocks
         results: Dict = {"ideal": {0: ideal.record.iterations,
                                    1: ideal.record.iterations,
                                    2: ideal.record.iterations}}
+        tasks = [CalibrationTask(method=name, errors=errors,
+                                 calibration_points=self.calibration_points,
+                                 workers_per_rank=self.workers_per_rank,
+                                 tolerance=self.tolerance,
+                                 checkpoint_interval=self.checkpoint_interval,
+                                 tau=tau, pages=pages,
+                                 cost_model=self.cost_model)
+                 for name in STRATEGY_NAMES for errors in (0, 1, 2)]
+        if executor is None:
+            from repro.campaign.executors import SerialExecutor
+            executor = SerialExecutor()
+        iteration_counts = {
+            (task.method, task.errors): count
+            for task, count in executor.run(run_calibration_task, tasks)}
         for name in STRATEGY_NAMES:
-            per_error: Dict[int, int] = {}
-            for errors in (0, 1, 2):
-                if errors == 0:
-                    scenario: Optional[ErrorScenario] = None
-                else:
-                    # Errors hit pages of the iterate at evenly spread times,
-                    # mirroring the paper's "1 and 2 errors per run".
-                    injections = [Injection(time=tau * (k + 1) / (errors + 1),
-                                            vector="x",
-                                            page=(7 * (k + 1)) % max(pages, 1))
-                                  for k in range(errors)]
-                    scenario = multi_error_scenario(injections,
-                                                    name=f"{name}-{errors}err")
-                strategy = make_strategy(
-                    name, cost_model=self.cost_model,
-                    checkpoint_interval=self.checkpoint_interval)
-                solver = ResilientCG(A, b, strategy=strategy, scenario=scenario,
-                                     config=cfg)
-                record = solver.solve(ideal_time=tau).record
-                per_error[errors] = max(record.iterations, 1)
-            results[name] = per_error
+            results[name] = {errors: iteration_counts[(name, errors)]
+                             for errors in (0, 1, 2)}
         self._calibration = results
         return results
 
@@ -172,9 +227,14 @@ class ClusterModel:
     # ------------------------------------------------------------------
     def run(self, core_counts: Sequence[int] = (64, 128, 256, 512, 1024),
             error_counts: Sequence[int] = (1, 2),
-            methods: Sequence[str] = STRATEGY_NAMES) -> List[ScalingResult]:
-        """Produce the Figure 5 dataset: speedups per method/cores/errors."""
-        calibration = self._calibrate()
+            methods: Sequence[str] = STRATEGY_NAMES,
+            executor=None) -> List[ScalingResult]:
+        """Produce the Figure 5 dataset: speedups per method/cores/errors.
+
+        ``executor`` (a campaign executor) parallelises the calibration
+        solves; the analytic extrapolation itself is instantaneous.
+        """
+        calibration = self._calibrate(executor=executor)
         results: List[ScalingResult] = []
         ref_cores = min(core_counts)
         ref_ranks = max(1, ref_cores // self.workers_per_rank)

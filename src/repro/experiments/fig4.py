@@ -13,6 +13,12 @@ CG, for CG and block-Jacobi PCG.  Key shapes to reproduce:
 * checkpointing starts around 55% and grows into the hundreds of %;
 * the trivial method diverges quickly (several hundred % already at
   rate 5, unbounded beyond).
+
+This driver is a thin wrapper over the campaign engine
+(:mod:`repro.campaign`): the sweep grid becomes a
+:class:`~repro.campaign.CampaignSpec`, so the full figure can run on any
+campaign executor — pass ``executor=make_executor('process')`` to fan
+the trials out over a process pool with identical statistics.
 """
 
 from __future__ import annotations
@@ -20,17 +26,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.report import format_table
-from repro.analysis.stats import harmonic_mean_overhead, mean_and_std
-from repro.experiments.common import (ExperimentConfig, MethodRun, ideal_cache,
-                                      run_method)
-from repro.faults.scenarios import PAPER_ERROR_RATES, ErrorScenario
+from repro.campaign.engine import run_campaign
+from repro.campaign.executors import CampaignExecutor
+from repro.campaign.results import (DIVERGED_SLOWDOWN, CampaignResult,
+                                    TrialResult)
+from repro.campaign.spec import CampaignSpec, MatrixSpec, SolverKnobs
+from repro.experiments.common import ExperimentConfig
+from repro.faults.scenarios import PAPER_ERROR_RATES
 
-#: Slowdown assigned to runs that failed to converge within the iteration
-#: budget (the paper's y-axis is logarithmic and tops out around 1000%).
-DIVERGED_SLOWDOWN = 2000.0
+__all__ = ["DIVERGED_SLOWDOWN", "Fig4Cell", "Fig4Result", "campaign_spec",
+           "run_fig4", "format_fig4", "format_fig4_per_matrix"]
 
 
 @dataclass
@@ -42,7 +48,7 @@ class Fig4Cell:
     rate: float
     mean_slowdown: float
     std_slowdown: float
-    runs: List[MethodRun] = field(default_factory=list)
+    runs: List[TrialResult] = field(default_factory=list)
 
 
 @dataclass
@@ -52,6 +58,7 @@ class Fig4Result:
     cells: List[Fig4Cell]
     summary: Dict[Tuple[str, float], float]
     config: ExperimentConfig
+    campaign: Optional[CampaignResult] = None
 
     def summary_rows(self) -> List[List[object]]:
         rates = sorted({rate for (_, rate) in self.summary})
@@ -65,43 +72,51 @@ class Fig4Result:
         return rows
 
 
+def campaign_spec(config: ExperimentConfig,
+                  rates: Sequence[float] = PAPER_ERROR_RATES,
+                  matrices: Optional[Sequence[str]] = None,
+                  methods: Optional[Sequence[str]] = None) -> CampaignSpec:
+    """The Figure 4 sweep expressed as a campaign."""
+    names = list(matrices if matrices is not None else config.matrices)
+    methods = list(methods if methods is not None else config.methods)
+    knobs = SolverKnobs(
+        tolerance=config.tolerance, max_iterations=config.max_iterations,
+        num_workers=config.num_workers, page_size=config.page_size,
+        work_scale=config.work_scale, preconditioned=config.preconditioned,
+        checkpoint_interval=config.checkpoint_interval,
+        cost_model=config.cost_model)
+    return CampaignSpec(
+        matrices=[MatrixSpec.suite(name, rhs_seed=config.seed)
+                  for name in names],
+        methods=methods, rates=[float(r) for r in rates],
+        repetitions=config.repetitions, seed=config.seed, knobs=knobs,
+        name="fig4")
+
+
 def run_fig4(config: Optional[ExperimentConfig] = None,
              rates: Sequence[float] = PAPER_ERROR_RATES,
              matrices: Optional[Sequence[str]] = None,
-             methods: Optional[Sequence[str]] = None) -> Fig4Result:
+             methods: Optional[Sequence[str]] = None,
+             executor: Optional[CampaignExecutor] = None) -> Fig4Result:
     """Reproduce the Figure 4 sweep (possibly on a subset, for quick runs)."""
     config = config or ExperimentConfig()
-    methods = list(methods if methods is not None else config.methods)
-    cache = ideal_cache(config, matrices)
-    cells: List[Fig4Cell] = []
-    collected: Dict[Tuple[str, float], List[float]] = {}
+    spec = campaign_spec(config, rates=rates, matrices=matrices,
+                         methods=methods)
+    campaign = run_campaign(spec, executor=executor)
 
-    for name, (A, b, ideal) in cache.items():
-        for rate in rates:
-            for method in methods:
-                slowdowns: List[float] = []
-                runs: List[MethodRun] = []
-                for rep in range(config.repetitions):
-                    scenario = ErrorScenario(
-                        name=f"{name}-rate{rate:g}-rep{rep}",
-                        normalized_rate=float(rate),
-                        seed=config.seed + 104729 * rep + int(31 * rate))
-                    run = run_method(A, b, method, scenario, ideal, config,
-                                     matrix_name=name)
-                    runs.append(run)
-                    if run.record.converged:
-                        slowdowns.append(run.overhead_percent)
-                    else:
-                        slowdowns.append(DIVERGED_SLOWDOWN)
-                mean, std = mean_and_std(slowdowns)
-                cells.append(Fig4Cell(matrix=name, method=method, rate=rate,
-                                      mean_slowdown=mean, std_slowdown=std,
-                                      runs=runs))
-                collected.setdefault((method, rate), []).extend(slowdowns)
-
-    summary = {key: harmonic_mean_overhead(np.maximum(values, 0.0))
-               for key, values in collected.items()}
-    return Fig4Result(cells=cells, summary=summary, config=config)
+    grouped: Dict[Tuple[str, str, float], List[TrialResult]] = {}
+    for trial in campaign.sorted_trials():
+        grouped.setdefault((trial.matrix, trial.method, trial.rate),
+                           []).append(trial)
+    cells = [Fig4Cell(matrix=matrix, method=method, rate=rate,
+                      mean_slowdown=campaign.cell(matrix, method,
+                                                  rate).mean_slowdown,
+                      std_slowdown=campaign.cell(matrix, method,
+                                                 rate).std_slowdown,
+                      runs=members)
+             for (matrix, method, rate), members in grouped.items()]
+    return Fig4Result(cells=cells, summary=campaign.summary(), config=config,
+                      campaign=campaign)
 
 
 def format_fig4(result: Fig4Result) -> str:

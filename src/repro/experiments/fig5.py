@@ -13,7 +13,7 @@ Shapes to reproduce (paper, 27-point Poisson on 512^3 unknowns):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.distributed.cluster import ClusterModel, ScalingResult
@@ -49,11 +49,19 @@ def run_fig5(core_counts: Sequence[int] = (64, 128, 256, 512, 1024),
              error_counts: Sequence[int] = (1, 2),
              calibration_points: int = 24,
              target_points: int = 512,
-             model: Optional[ClusterModel] = None) -> Fig5Result:
-    """Reproduce the Figure 5 scaling study with the simulated cluster."""
+             model: Optional[ClusterModel] = None,
+             executor=None) -> Fig5Result:
+    """Reproduce the Figure 5 scaling study with the simulated cluster.
+
+    The calibration solves (one real resilient-CG run per method and
+    error count) are independent, so they run through the same pluggable
+    campaign executors as the Figure 4 sweep — pass
+    ``executor=make_executor('process')`` to fan them out.
+    """
     model = model or ClusterModel(target_points=target_points,
                                   calibration_points=calibration_points)
-    results = model.run(core_counts=core_counts, error_counts=error_counts)
+    results = model.run(core_counts=core_counts, error_counts=error_counts,
+                        executor=executor)
     return Fig5Result(results=results, model=model)
 
 

@@ -10,13 +10,20 @@ schedule of (time, vector, page) injections that the simulated run
 replays.
 """
 
-from repro.faults.injector import ExponentialInjector, Injection
-from repro.faults.scenarios import ErrorScenario, normalized_rate_scenarios, single_error_scenario
+from repro.faults.injector import (ExponentialInjector, Injection, SeedLike,
+                                   derive_rng, null_injector)
+from repro.faults.scenarios import (ErrorScenario, multi_error_scenario,
+                                    normalized_rate_scenarios,
+                                    single_error_scenario)
 
 __all__ = [
     "ExponentialInjector",
     "Injection",
+    "SeedLike",
+    "derive_rng",
+    "null_injector",
     "ErrorScenario",
+    "multi_error_scenario",
     "normalized_rate_scenarios",
     "single_error_scenario",
 ]

@@ -1,13 +1,41 @@
-"""Exponential-MTBE page-fault injector."""
+"""Exponential-MTBE page-fault injector.
+
+Seeding hygiene
+---------------
+No module-level RNG state is used anywhere: every injector owns exactly
+one :class:`numpy.random.Generator`, built by :func:`derive_rng` from
+whatever seed material the caller threads through — an integer, a
+:class:`numpy.random.SeedSequence` (the campaign engine spawns one child
+sequence per trial from the campaign seed, so parallel trials are
+reproducible and statistically independent), or an existing Generator.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.config import DEFAULT_SEED
+
+#: Anything :func:`derive_rng` can turn into a Generator.
+SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
+
+
+def derive_rng(seed: SeedLike = DEFAULT_SEED) -> np.random.Generator:
+    """One Generator per consumer, from an int / SeedSequence / Generator.
+
+    Passing a Generator threads it through unchanged (shared stream);
+    anything else creates a fresh, independent stream.  ``None`` falls
+    back to :data:`~repro.config.DEFAULT_SEED` so that *nothing* in this
+    package ever touches NumPy's global RNG.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
 
 
 @dataclass(frozen=True)
@@ -28,19 +56,22 @@ class ExponentialInjector:
         Mean time between errors, in the same (simulated) time unit as the
         solver's cost model.  ``float('inf')`` disables injection.
     rng:
-        NumPy random generator or integer seed.
+        Seed material: an integer, a :class:`numpy.random.SeedSequence`
+        or an existing :class:`numpy.random.Generator` (see
+        :func:`derive_rng`).
     """
 
-    def __init__(self, mtbe: float, rng=DEFAULT_SEED):
+    def __init__(self, mtbe: float, rng: SeedLike = DEFAULT_SEED):
         if mtbe <= 0:
             raise ValueError(f"MTBE must be positive, got {mtbe}")
         self.mtbe = float(mtbe)
-        self._rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        self._rng = derive_rng(rng)
 
     # ------------------------------------------------------------------
     @classmethod
     def from_normalized_rate(cls, rate: float, ideal_time: float,
-                             rng=DEFAULT_SEED) -> "ExponentialInjector":
+                             rng: SeedLike = DEFAULT_SEED
+                             ) -> "ExponentialInjector":
         """Build an injector from the paper's normalised error frequency.
 
         A normalised frequency ``n`` means ``n`` expected errors per ideal
@@ -93,11 +124,10 @@ class ExponentialInjector:
 class _NullInjector(ExponentialInjector):
     """Injector that never fires (normalised rate zero)."""
 
-    def __init__(self, rng=DEFAULT_SEED):
+    def __init__(self, rng: SeedLike = DEFAULT_SEED):
         # Bypass the parent validation: represent "never" directly.
         self.mtbe = float("inf")
-        self._rng = (np.random.default_rng(rng)
-                     if not isinstance(rng, np.random.Generator) else rng)
+        self._rng = derive_rng(rng)
 
     def sample_times(self, horizon: float) -> List[float]:
         return []
@@ -106,6 +136,6 @@ class _NullInjector(ExponentialInjector):
         return 0.0
 
 
-def null_injector(rng=DEFAULT_SEED) -> ExponentialInjector:
+def null_injector(rng: SeedLike = DEFAULT_SEED) -> ExponentialInjector:
     """An injector that injects nothing (used for fault-free baselines)."""
     return _NullInjector(rng)

@@ -10,11 +10,12 @@ Two families are needed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_SEED
-from repro.faults.injector import ExponentialInjector, Injection, null_injector
+from repro.faults.injector import (ExponentialInjector, Injection, SeedLike,
+                                   null_injector)
 
 #: The normalised error frequencies of Figure 4.
 PAPER_ERROR_RATES: Tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
@@ -28,12 +29,23 @@ class ErrorScenario:
     run: a Poisson process at the given normalised rate, or a hand-picked
     list of injections (used for the single-error convergence plot and
     for targeted tests).
+
+    ``seed`` may be a plain integer or a
+    :class:`numpy.random.SeedSequence`; the campaign engine spawns one
+    child sequence per trial from the campaign seed and threads it here,
+    so every trial owns an independent, reproducible Generator no matter
+    which executor (serial or process pool) runs it.
     """
 
     name: str = "fault-free"
     normalized_rate: float = 0.0
-    seed: int = DEFAULT_SEED
+    seed: SeedLike = DEFAULT_SEED
     fixed_injections: List[Injection] = field(default_factory=list)
+
+    def reseeded(self, seed: SeedLike, name: Optional[str] = None
+                 ) -> "ErrorScenario":
+        """Copy of this scenario driven by different seed material."""
+        return replace(self, seed=seed, name=name or self.name)
 
     def injector(self, ideal_time: float) -> ExponentialInjector:
         """Injector realising this scenario for a solve of ``ideal_time``."""

@@ -11,25 +11,34 @@ a block is the set of rows whose vector entries live on one memory page
 * cached LU factorisations of the diagonal blocks, shared between the
   block-Jacobi preconditioner and the recovery interpolations (the paper
   notes this sharing makes recovery cheaper when block-Jacobi is used).
+
+Two storage backends are supported and dispatched on transparently: a
+SciPy CSR matrix, or the SciPy-free
+:class:`~repro.matrices.sparse.SparseOperator` whose row-slab kernels
+avoid materialising any dense ``n x n`` (or sliced sparse) intermediate —
+the fast path used by large fault-injection campaigns.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.linalg as la
 import scipy.sparse as sp
 
 from repro.config import PAGE_DOUBLES
+from repro.matrices.sparse import SparseOperator
 from repro.memory.pages import page_count, page_slice
 
 
 class PageBlockedMatrix:
     """CSR matrix with page-aligned row-block structure and cached factors."""
 
-    def __init__(self, A: sp.spmatrix, page_size: int = PAGE_DOUBLES):
-        A = sp.csr_matrix(A)
+    def __init__(self, A: Union[sp.spmatrix, SparseOperator, np.ndarray],
+                 page_size: int = PAGE_DOUBLES):
+        if not isinstance(A, SparseOperator):
+            A = sp.csr_matrix(A)
         if A.shape[0] != A.shape[1]:
             raise ValueError(f"matrix must be square, got {A.shape}")
         if page_size <= 0:
@@ -50,17 +59,33 @@ class PageBlockedMatrix:
         sl = self.block_slice(block)
         return sl.stop - sl.start
 
+    @property
+    def uses_sparse_operator(self) -> bool:
+        """True when the SciPy-free fast-path backend is in use."""
+        return isinstance(self.A, SparseOperator)
+
     def row_block(self, block: int) -> sp.csr_matrix:
         """CSR view of the rows in ``block`` (all columns)."""
         sl = self.block_slice(block)
+        if self.uses_sparse_operator:
+            p0 = int(self.A.indptr[sl.start])
+            p1 = int(self.A.indptr[sl.stop])
+            return sp.csr_matrix(
+                (self.A.data[p0:p1], self.A.indices[p0:p1],
+                 self.A.indptr[sl.start:sl.stop + 1] - p0),
+                shape=(sl.stop - sl.start, self.n))
         return self.A[sl.start:sl.stop, :]
 
     def diag_block(self, block: int) -> np.ndarray:
         """Dense diagonal block ``A_ii`` (cached)."""
         if block not in self._diag_blocks:
             sl = self.block_slice(block)
-            self._diag_blocks[block] = (
-                self.A[sl.start:sl.stop, sl.start:sl.stop].toarray())
+            if self.uses_sparse_operator:
+                self._diag_blocks[block] = self.A.dense_block(
+                    sl.start, sl.stop, sl.start, sl.stop)
+            else:
+                self._diag_blocks[block] = (
+                    self.A[sl.start:sl.stop, sl.start:sl.stop].toarray())
         return self._diag_blocks[block]
 
     def diag_factor(self, block: int):
@@ -79,14 +104,33 @@ class PageBlockedMatrix:
             self.diag_factor(block)
 
     # ------------------------------------------------------------------
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Full product ``A v`` on whichever backend is in use."""
+        return self.A @ v
+
     def block_row_product(self, block: int, v: np.ndarray) -> np.ndarray:
         """``(A v)`` restricted to the rows of ``block``."""
-        return self.row_block(block) @ v
+        sl = self.block_slice(block)
+        if self.uses_sparse_operator:
+            return self.A.row_slab_matvec(sl.start, sl.stop, v)
+        return self.A[sl.start:sl.stop, :] @ v
+
+    def column_block_dense(self, block: int) -> np.ndarray:
+        """Dense copy of the full columns of ``block`` (n x block_size).
+
+        Only the least-squares interpolation needs this tall-skinny
+        block; both backends produce it without an ``n x n`` dense
+        intermediate.
+        """
+        sl = self.block_slice(block)
+        if self.uses_sparse_operator:
+            return self.A.dense_block(0, self.n, sl.start, sl.stop)
+        return self.A[:, sl.start:sl.stop].toarray()
 
     def offdiag_product(self, block: int, v: np.ndarray) -> np.ndarray:
         """``sum_{j != i} A_ij v_j`` for rows in block ``i``."""
         sl = self.block_slice(block)
-        full = self.row_block(block) @ v
+        full = self.block_row_product(block, v)
         diag_part = self.diag_block(block) @ v[sl.start:sl.stop]
         return full - diag_part
 
@@ -113,7 +157,10 @@ class PageBlockedMatrix:
         indices = np.concatenate([np.arange(self.block_slice(b).start,
                                             self.block_slice(b).stop)
                                   for b in blocks])
-        sub = self.A[indices][:, indices].toarray()
+        if self.uses_sparse_operator:
+            sub = self.A.gather_dense(indices)
+        else:
+            sub = self.A[indices][:, indices].toarray()
         rhs = np.asarray(rhs, dtype=np.float64)
         if rhs.shape[0] != indices.size:
             raise ValueError(f"rhs must have {indices.size} entries, "

@@ -27,7 +27,6 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.matrices.laplacian import graph_laplacian, laplacian_2d, laplacian_3d
-from repro.matrices.random_spd import random_sparse_spd
 from repro.matrices.stencil import poisson_2d_5pt, poisson_3d_7pt, poisson_3d_27pt
 
 

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.graph import TaskGraph
-from repro.runtime.task import ScheduledTask, TaskKind
+from repro.runtime.task import ScheduledTask
 from repro.runtime.trace import ExecutionTrace
 
 

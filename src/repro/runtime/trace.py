@@ -15,7 +15,7 @@ is idle time.  Traces from successive iterations can be accumulated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 from repro.runtime.task import ScheduledTask, TaskKind
 

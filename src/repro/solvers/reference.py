@@ -15,7 +15,7 @@ iterations the "ideal" solver needs for the cost model's ideal time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -24,6 +24,18 @@ from repro.analysis.convergence import ConvergenceRecord, ResidualHistory
 from repro.config import DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE
 from repro.precond.base import Preconditioner
 from repro.precond.identity import IdentityPreconditioner
+
+
+def _as_linear_operator(A):
+    """Normalise the input matrix: SciPy CSR, or a SparseOperator as-is.
+
+    The reference solvers only need ``A @ v``, which both backends
+    provide; dense arrays are converted to CSR like before.
+    """
+    from repro.matrices.sparse import SparseOperator
+    if isinstance(A, SparseOperator):
+        return A
+    return sp.csr_matrix(A)
 
 
 @dataclass
@@ -72,7 +84,7 @@ def preconditioned_conjugate_gradient(
     Convergence is declared on the true relative residual
     ``||b - Ax|| / ||b|| <= tol`` to match the paper's threshold of 1e-10.
     """
-    A = sp.csr_matrix(A)
+    A = _as_linear_operator(A)
     n = A.shape[0]
     b = np.asarray(b, dtype=np.float64)
     if b.shape[0] != n:
@@ -132,7 +144,7 @@ def bicgstab(A: sp.spmatrix, b: np.ndarray, x0: Optional[np.ndarray] = None, *,
              callback: Optional[Callable[[int, float], None]] = None
              ) -> ReferenceResult:
     """BiCGStab (Listing 3 / Listing 6 when a preconditioner is given)."""
-    A = sp.csr_matrix(A)
+    A = _as_linear_operator(A)
     n = A.shape[0]
     b = np.asarray(b, dtype=np.float64)
     if b.shape[0] != n:
@@ -202,7 +214,7 @@ def gmres(A: sp.spmatrix, b: np.ndarray, x0: Optional[np.ndarray] = None, *,
           callback: Optional[Callable[[int, float], None]] = None
           ) -> ReferenceResult:
     """Restarted GMRES(m) with Givens rotations (Listings 4 and 7)."""
-    A = sp.csr_matrix(A)
+    A = _as_linear_operator(A)
     n = A.shape[0]
     b = np.asarray(b, dtype=np.float64)
     if b.shape[0] != n:

@@ -60,6 +60,7 @@ from repro.core.strategy import RecoveryStats, RecoveryStrategy
 from repro.faults.injector import Injection
 from repro.faults.scenarios import ErrorScenario
 from repro.matrices.blocked import PageBlockedMatrix
+from repro.matrices.sparse import SparseOperator
 from repro.memory.manager import MemoryManager
 from repro.memory.pages import PagedVector
 from repro.precond.base import Preconditioner
@@ -145,7 +146,8 @@ class ResilientCG:
 
     PROTECTED = ("x", "g", "d0", "d1", "q")
 
-    def __init__(self, A: sp.spmatrix, b: np.ndarray, *,
+    def __init__(self, A: "sp.spmatrix | SparseOperator | np.ndarray",
+                 b: np.ndarray, *,
                  strategy: Optional[RecoveryStrategy] = None,
                  preconditioner: Optional[Preconditioner] = None,
                  scenario: Optional[ErrorScenario] = None,

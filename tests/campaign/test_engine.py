@@ -1,0 +1,144 @@
+"""Campaign engine tests: determinism and executor equivalence.
+
+The acceptance bar for the engine is strict: under a fixed campaign
+seed, the aggregated statistics must be *byte-identical* between the
+serial executor and both pool executors, no matter in which order the
+pool completes trials.
+"""
+
+import pytest
+
+from repro.campaign.engine import clear_caches, run_campaign, run_trial
+from repro.campaign.executors import (ChunkedExecutor, ProcessPoolExecutor,
+                                      SerialExecutor, make_executor)
+from repro.campaign.results import CampaignResult, TrialResult
+from repro.campaign.spec import CampaignSpec, SolverKnobs
+
+
+def tiny_spec(**overrides):
+    """A campaign small enough for process-pool tests on any machine."""
+    defaults = dict(
+        matrices=["laplacian2d:10"], methods=("FEIR", "Lossy"),
+        rates=(2.0, 20.0), repetitions=2, seed=99,
+        knobs=SolverKnobs(tolerance=1e-8, max_iterations=2000,
+                          num_workers=4, page_size=20),
+        name="tiny")
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRunTrial:
+    def test_single_trial_runs_and_converges(self):
+        trial = tiny_spec().expand()[0]
+        result = run_trial(trial)
+        assert isinstance(result, TrialResult)
+        assert result.converged
+        assert result.iterations > 0
+        assert result.ideal_time > 0
+        assert result.solve_time >= result.ideal_time
+
+    def test_trial_is_reproducible(self):
+        trial = tiny_spec().expand()[3]
+        a = run_trial(trial)
+        clear_caches()
+        b = run_trial(trial)
+        assert a.solve_time == b.solve_time
+        assert a.iterations == b.iterations
+        assert a.faults_injected == b.faults_injected
+
+    def test_fault_free_trial_has_zero_overhead(self):
+        spec = tiny_spec(rates=(0.0,), methods=("FEIR",), repetitions=1)
+        result = run_trial(spec.expand()[0])
+        assert result.faults_injected == 0
+        # FEIR's recovery tasks overlap with compute on a fault-free run
+        # but never cost more than a few percent.
+        assert result.overhead_percent < 25.0
+
+
+class TestDeterminism:
+    def test_serial_repeat_is_byte_identical(self):
+        a = run_campaign(tiny_spec(), executor=SerialExecutor())
+        clear_caches()
+        b = run_campaign(tiny_spec(), executor=SerialExecutor())
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_changes_results(self):
+        a = run_campaign(tiny_spec(), executor=SerialExecutor())
+        clear_caches()
+        b = run_campaign(tiny_spec(seed=100), executor=SerialExecutor())
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_aggregation_is_order_independent(self):
+        a = run_campaign(tiny_spec(), executor=SerialExecutor())
+        shuffled = CampaignResult(name=a.name)
+        shuffled.extend(reversed(a.sorted_trials()))
+        assert shuffled.fingerprint() == a.fingerprint()
+        assert shuffled.summary() == a.summary()
+
+
+class TestExecutorEquivalence:
+    """Serial vs process-pool vs chunked: identical statistics."""
+
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        clear_caches()
+        return run_campaign(tiny_spec(), executor=SerialExecutor())
+
+    def test_process_pool_matches_serial(self, serial_result):
+        pool = run_campaign(tiny_spec(),
+                            executor=ProcessPoolExecutor(max_workers=2))
+        assert pool.fingerprint() == serial_result.fingerprint()
+        for a, b in zip(pool.sorted_trials(), serial_result.sorted_trials()):
+            assert a.solve_time == b.solve_time
+            assert a.iterations == b.iterations
+
+    def test_chunked_matches_serial(self, serial_result):
+        chunked = run_campaign(
+            tiny_spec(), executor=ChunkedExecutor(max_workers=2,
+                                                  chunk_size=3))
+        assert chunked.fingerprint() == serial_result.fingerprint()
+
+    def test_all_trials_accounted_for(self, serial_result):
+        assert len(serial_result) == tiny_spec().num_trials
+
+
+class TestEngineApi:
+    def test_progress_callback_sees_every_trial(self):
+        seen = []
+        run_campaign(tiny_spec(repetitions=1),
+                     progress=lambda t, done, total: seen.append((done,
+                                                                  total)))
+        assert len(seen) == tiny_spec(repetitions=1).num_trials
+        assert seen[-1][0] == seen[-1][1]
+
+    def test_make_executor_registry(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("process"), ProcessPoolExecutor)
+        assert isinstance(make_executor("chunked"), ChunkedExecutor)
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    def test_chunked_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ChunkedExecutor(chunk_size=0)
+
+    def test_summary_and_cells_agree_on_grid(self):
+        result = run_campaign(tiny_spec(), executor=SerialExecutor())
+        cells = result.cells()
+        assert set(result.summary()) == {(m, r)
+                                         for (_, m, r) in cells}
+        cell = result.cell("laplacian2d(nx=10,ny=10)", "FEIR", 2.0)
+        assert cell.trials == 2
+
+    def test_format_renders_table(self):
+        result = run_campaign(tiny_spec(repetitions=1),
+                              executor=SerialExecutor())
+        text = result.format()
+        assert "FEIR" in text and "rate 20" in text

@@ -1,0 +1,127 @@
+"""Tests for the declarative campaign spec and its expansion."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import (CampaignSpec, MatrixSpec, SolverKnobs,
+                                 TrialSpec)
+
+
+class TestMatrixSpec:
+    def test_parse_suite_name(self):
+        spec = MatrixSpec.parse("qa8fm")
+        assert spec.family == "suite"
+        assert spec.label == "qa8fm"
+
+    def test_parse_parametric(self):
+        spec = MatrixSpec.parse("laplacian2d:12x9")
+        assert spec.family == "laplacian2d"
+        assert dict(spec.params) == {"nx": 12, "ny": 9}
+
+    def test_parse_square_default(self):
+        spec = MatrixSpec.parse("laplacian2d:12")
+        assert dict(spec.params) == {"nx": 12, "ny": 12}
+
+    def test_parse_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            MatrixSpec.parse("hilbert:12")
+
+    def test_parse_rejects_missing_dims(self):
+        with pytest.raises(ValueError):
+            MatrixSpec.parse("laplacian2d:")
+
+    def test_unknown_family_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(family="dense")
+
+    def test_build_sparse_operator_backend(self):
+        from repro.matrices.sparse import SparseOperator
+        A, b = MatrixSpec.parse("laplacian2d:8").build()
+        assert isinstance(A, SparseOperator)
+        assert A.shape == (64, 64)
+        assert b.shape == (64,)
+
+    def test_build_suite_scipy_backend(self):
+        import scipy.sparse as sp
+        A, b = MatrixSpec.suite("qa8fm").build()
+        assert sp.issparse(A)
+        assert A.shape[0] == b.shape[0]
+
+    def test_build_is_deterministic(self):
+        spec = MatrixSpec.parse("laplacian2d:8")
+        A1, b1 = spec.build()
+        A2, b2 = spec.build()
+        assert np.array_equal(A1.data, A2.data)
+        assert np.array_equal(b1, b2)
+
+
+class TestCampaignSpec:
+    def make_spec(self, **overrides):
+        defaults = dict(matrices=["laplacian2d:8"],
+                        methods=("FEIR", "AFEIR"), rates=(1.0, 10.0),
+                        repetitions=3, seed=7)
+        defaults.update(overrides)
+        return CampaignSpec(**defaults)
+
+    def test_num_trials(self):
+        assert self.make_spec().num_trials == 1 * 2 * 2 * 3
+
+    def test_expand_indices_are_dense(self):
+        trials = self.make_spec().expand()
+        assert [t.index for t in trials] == list(range(len(trials)))
+
+    def test_expand_spawns_independent_seeds(self):
+        trials = self.make_spec().expand()
+        keys = {t.seed.spawn_key for t in trials}
+        assert len(keys) == len(trials)
+
+    def test_expand_is_deterministic(self):
+        a = self.make_spec().expand()
+        b = self.make_spec().expand()
+        for ta, tb in zip(a, b):
+            assert ta.index == tb.index
+            assert ta.method == tb.method
+            assert ta.rate == tb.rate
+            rng_a = np.random.default_rng(ta.seed)
+            rng_b = np.random.default_rng(tb.seed)
+            assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+    def test_trials_are_picklable(self):
+        trial = self.make_spec().expand()[0]
+        clone = pickle.loads(pickle.dumps(trial))
+        assert isinstance(clone, TrialSpec)
+        assert clone.index == trial.index
+        a = np.random.default_rng(trial.seed).integers(0, 2**31)
+        b = np.random.default_rng(clone.seed).integers(0, 2**31)
+        assert a == b
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            self.make_spec(matrices=[])
+        with pytest.raises(ValueError):
+            self.make_spec(methods=())
+        with pytest.raises(ValueError):
+            self.make_spec(repetitions=0)
+
+    def test_make_scenario_threads_trial_seed(self):
+        trial = self.make_spec().expand()[0]
+        scenario = trial.make_scenario()
+        assert scenario.normalized_rate == trial.rate
+        assert scenario.seed is trial.seed
+
+    def test_fault_free_rate_gives_fault_free_scenario(self):
+        spec = self.make_spec(rates=(0.0,))
+        scenario = spec.expand()[0].make_scenario()
+        assert scenario.is_fault_free
+
+    def test_describe_is_json_friendly(self):
+        import json
+        text = json.dumps(self.make_spec().describe())
+        assert "laplacian2d" in text
+
+    def test_knobs_flow_into_trials(self):
+        knobs = SolverKnobs(tolerance=1e-6, page_size=32)
+        trials = self.make_spec(knobs=knobs).expand()
+        assert all(t.knobs.tolerance == 1e-6 for t in trials)

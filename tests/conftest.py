@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.matrices.stencil import poisson_2d_5pt, stencil_rhs
 from repro.matrices.random_spd import random_dense_spd, random_sparse_spd

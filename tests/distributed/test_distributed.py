@@ -1,6 +1,5 @@
 """Tests for the simulated distributed layer and the scaling model."""
 
-import math
 
 import pytest
 
