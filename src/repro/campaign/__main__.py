@@ -21,6 +21,7 @@ from repro.campaign.engine import run_campaign
 from repro.campaign.executors import EXECUTOR_NAMES, make_executor
 from repro.campaign.spec import CampaignSpec, SolverKnobs
 from repro.config import DEFAULT_SEED
+from repro.runtime.backend import BACKEND_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="campaign master seed")
     parser.add_argument("--executor", choices=EXECUTOR_NAMES,
                         default="serial")
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="simulated",
+                        help="task-graph execution backend inside each "
+                             "trial: 'simulated' (discrete-event only) or "
+                             "'threaded' (real concurrent execution; same "
+                             "fingerprint)")
     parser.add_argument("--workers", type=int, default=None,
                         help="pool worker count (pool executors only)")
     parser.add_argument("--chunk-size", type=int, default=None,
@@ -65,7 +72,8 @@ def main(argv=None) -> int:
             knobs=SolverKnobs(tolerance=args.tolerance,
                               max_iterations=args.max_iterations,
                               page_size=args.page_size,
-                              preconditioned=args.preconditioned),
+                              preconditioned=args.preconditioned,
+                              backend=args.backend),
             name="cli")
         executor = make_executor(args.executor, max_workers=args.workers,
                                  chunk_size=args.chunk_size)

@@ -43,7 +43,9 @@ def _solver_config(knobs: SolverKnobs):
                         page_size=knobs.page_size,
                         cost_model=knobs.cost_model,
                         work_scale=knobs.work_scale,
-                        record_history=knobs.record_history)
+                        record_history=knobs.record_history,
+                        backend=knobs.backend,
+                        pace=knobs.pace)
 
 
 def _problem(matrix: MatrixSpec) -> tuple:
@@ -76,7 +78,11 @@ def _ideal_time(matrix: MatrixSpec, knobs: SolverKnobs) -> float:
     """Fault-free baseline solve time (memoised per process)."""
     key = (matrix, knobs)
     if key not in _IDEAL_CACHE:
-        result = _make_solver(matrix, knobs, None, None).solve()
+        solver = _make_solver(matrix, knobs, None, None)
+        try:
+            result = solver.solve()
+        finally:
+            solver.close()
         if not result.record.converged:
             raise RuntimeError(
                 f"ideal baseline did not converge on {matrix.label} "
@@ -92,7 +98,12 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     ideal_time = _ideal_time(trial.matrix, trial.knobs)
     solver = _make_solver(trial.matrix, trial.knobs, trial.method,
                           trial.make_scenario())
-    result = solver.solve(ideal_time=ideal_time)
+    try:
+        result = solver.solve(ideal_time=ideal_time)
+    finally:
+        # The threaded backend owns real worker threads; release them so
+        # a 10^4-trial campaign does not accumulate thread pools.
+        solver.close()
     record = result.record
     return TrialResult(
         index=trial.index, matrix=trial.matrix.label, method=trial.method,

@@ -17,8 +17,9 @@ campaign statistics.  Three are provided:
 from __future__ import annotations
 
 import concurrent.futures
-import os
 from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.config import resolve_worker_count
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -28,8 +29,9 @@ EXECUTOR_NAMES = ("serial", "process", "chunked")
 
 
 def default_worker_count() -> int:
-    """Worker count for the pool executors: all cores, at least one."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count for the pool executors: all cores, at least one,
+    capped by the ``REPRO_MAX_WORKERS`` environment override."""
+    return resolve_worker_count()
 
 
 class CampaignExecutor:
@@ -55,12 +57,18 @@ class SerialExecutor(CampaignExecutor):
 
 
 class ProcessPoolExecutor(CampaignExecutor):
-    """One pool task per trial (``concurrent.futures`` process pool)."""
+    """One pool task per trial (``concurrent.futures`` process pool).
+
+    Worker counts are validated (explicit non-positive requests raise)
+    and capped by the ``REPRO_MAX_WORKERS`` environment override; at run
+    time the pool never exceeds the number of items, so short campaigns
+    do not oversubscribe CI runners.
+    """
 
     name = "process"
 
     def __init__(self, max_workers: Optional[int] = None):
-        self.max_workers = max_workers or default_worker_count()
+        self.max_workers = resolve_worker_count(max_workers)
 
     def describe(self) -> str:
         return f"{self.name}({self.max_workers} workers)"
@@ -68,12 +76,13 @@ class ProcessPoolExecutor(CampaignExecutor):
     def run(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
         if not items:
             return
-        if self.max_workers == 1 or len(items) == 1:
+        workers = max(1, min(self.max_workers, len(items)))
+        if workers == 1 or len(items) == 1:
             # A one-worker pool only adds IPC; keep semantics, skip cost.
             yield from SerialExecutor().run(fn, items)
             return
         with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(items))) as pool:
+                max_workers=workers) as pool:
             futures = [pool.submit(fn, item) for item in items]
             yield from _drain(futures)
 
@@ -103,7 +112,7 @@ class ChunkedExecutor(CampaignExecutor):
 
     def __init__(self, max_workers: Optional[int] = None,
                  chunk_size: Optional[int] = None):
-        self.max_workers = max_workers or default_worker_count()
+        self.max_workers = resolve_worker_count(max_workers)
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
@@ -123,11 +132,12 @@ class ChunkedExecutor(CampaignExecutor):
         if not items:
             return
         chunks = self._chunks(items)
-        if self.max_workers == 1 or len(chunks) == 1:
+        workers = max(1, min(self.max_workers, len(chunks)))
+        if workers == 1 or len(chunks) == 1:
             yield from SerialExecutor().run(fn, items)
             return
         with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(chunks))) as pool:
+                max_workers=workers) as pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
             for batch in _drain(futures):
                 yield from batch

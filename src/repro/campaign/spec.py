@@ -25,6 +25,7 @@ import numpy as np
 from repro.config import (DEFAULT_MAX_ITERATIONS, DEFAULT_SEED,
                           DEFAULT_TOLERANCE, DEFAULT_WORKERS)
 from repro.faults.scenarios import ErrorScenario
+from repro.runtime.backend import BACKEND_NAMES
 from repro.runtime.cost_model import DEFAULT_COST_MODEL, CostModel
 
 def _operator_to_scipy(A):
@@ -166,6 +167,18 @@ class SolverKnobs:
     checkpoint_interval: Optional[int] = None
     record_history: bool = False
     cost_model: CostModel = DEFAULT_COST_MODEL
+    #: Execution backend of every trial: ``"simulated"`` times the task
+    #: graphs, ``"threaded"`` additionally executes them on real worker
+    #: threads.  The simulated timeline (and hence every aggregate and
+    #: the campaign fingerprint) is bit-identical either way.
+    backend: str = "simulated"
+    #: Wall-clock pacing of the threaded backend (see ``SolverConfig``).
+    pace: float = 1.0
+
+    def __post_init__(self):
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(f"unknown execution backend {self.backend!r}; "
+                             f"known backends: {', '.join(BACKEND_NAMES)}")
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,9 @@ relations and fault injectors in this package share these constants.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 #: Number of float64 values per memory page (4096 bytes / 8 bytes).
 PAGE_DOUBLES: int = 512
 
@@ -30,3 +33,40 @@ DEFAULT_WORKERS: int = 8
 
 #: Names of the dynamic (protected, fault-injectable) CG vectors.
 PROTECTED_CG_VECTORS = ("x", "g", "d0", "d1", "q")
+
+#: Environment variable capping every real worker pool (campaign process
+#: pools, threaded execution backend) so shared CI runners are not
+#: oversubscribed.  Must be a positive integer when set.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def max_workers_override() -> Optional[int]:
+    """The :data:`MAX_WORKERS_ENV` cap, or ``None`` when unset/blank."""
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{MAX_WORKERS_ENV} must be an integer, "
+                         f"got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{MAX_WORKERS_ENV} must be positive, got {value}")
+    return value
+
+
+def resolve_worker_count(requested: Optional[int] = None) -> int:
+    """Real (OS-level) worker count for pools and thread backends.
+
+    ``requested=None`` means "all cores".  The result is always capped by
+    :func:`max_workers_override` and is at least 1.  An explicit
+    non-positive request is an error rather than a silent fallback.
+    """
+    if requested is not None and requested <= 0:
+        raise ValueError(f"worker count must be positive, got {requested}")
+    cores = max(1, os.cpu_count() or 1)
+    count = requested if requested is not None else cores
+    cap = max_workers_override()
+    if cap is not None:
+        count = min(count, cap)
+    return max(1, count)

@@ -11,12 +11,19 @@ is purely in scheduling (Section 3.3.2 and Figure 2):
   in time — the affected page's contribution to that reduction is
   skipped, which slows convergence at high error rates (Section 5.4).
 
-The class therefore only overrides the scheduling flags; the vulnerable
-window itself is enforced by the resilient solver, which asks the
-strategy whether a fault detected at a given simulated time is covered.
+The class overrides the scheduling flags (the algebra is inherited from
+FEIR unchanged) and names the (recovery task, scalar task) pairs whose
+gap *is* the vulnerable window, so the threaded execution backend can
+measure that window on real threads and the monitor can attribute every
+late DUE to it.  The window's *enforcement* — skipping the lost page's
+reduction contribution — still lives in the resilient solver, which asks
+the strategy whether a fault detected at a given simulated time is
+covered.
 """
 
 from __future__ import annotations
+
+from typing import List, Tuple
 
 from repro.core.feir import FEIRStrategy
 
@@ -27,3 +34,10 @@ class AFEIRStrategy(FEIRStrategy):
     name = "AFEIR"
     uses_recovery_tasks = True
     recovery_in_critical_path = False
+
+    def vulnerable_pairs(self, iteration: int) -> List[Tuple[str, str]]:
+        """The two overlapped windows of one iteration (Figure 2):
+        ``r2`` may finish before the rho/beta scalar consumes the
+        reduction it guards, and ``r1`` before the alpha scalar."""
+        t = iteration
+        return [(f"r2_{t}", f"beta{t}"), (f"r1_{t}", f"alpha{t}")]

@@ -44,7 +44,13 @@ from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 
 
 class FEIRStrategy(RecoveryStrategy):
-    """Exact forward recovery with recovery tasks in the critical path."""
+    """Exact forward recovery with recovery tasks in the critical path.
+
+    FEIR's recovery is a barrier before each scalar, so it keeps the
+    base class's empty ``vulnerable_pairs`` — there is no window in
+    which a DUE can land "after recovery ran", and the threaded backend
+    records no windows for it.
+    """
 
     name = "FEIR"
     uses_recovery_tasks = True

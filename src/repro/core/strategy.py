@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 
 @dataclass
@@ -79,6 +79,48 @@ class RecoveryStrategy(abc.ABC):
 
     #: True if the method periodically writes checkpoints.
     uses_checkpoints: bool = False
+
+    # ------------------------------------------------------------------
+    # task-graph placement
+    # ------------------------------------------------------------------
+    @property
+    def recovery_task_priority(self) -> int:
+        """Scheduling priority of the r1/r2/r3 recovery tasks.
+
+        The paper schedules overlapped (AFEIR) recovery "with a lower
+        priority as to start all reduction tasks first" (Section 3.3.2);
+        critical-path (FEIR) recovery runs at normal priority.
+        """
+        return 0 if self.recovery_in_critical_path else -1
+
+    def vulnerable_pairs(self, iteration: int) -> List[Tuple[str, str]]:
+        """(recovery task, dependent scalar task) name pairs whose gap is
+        the method's vulnerable window in iteration ``iteration``.
+
+        Critical-path methods have no window (the scalar waits for
+        recovery inside the critical path), so the default is empty;
+        overlapped methods override this so the threaded backend's
+        vulnerable-window monitor can measure the real gap.
+        """
+        return []
+
+    def recovery_probe(self, memory, monitor=None,
+                       label: str = "") -> Callable[[], int]:
+        """Real executable body of a recovery task for the threaded backend.
+
+        The returned callable performs what the paper's recovery task does
+        when executed: scan the protection bitmasks of every registered
+        vector for poisoned/lost pages, and report the count (to the
+        vulnerable-window ``monitor`` when one is attached).  Subclasses
+        with heavier real recovery work can override it.
+        """
+        def probe() -> int:
+            lost = memory.lost_pages()
+            if monitor is not None:
+                monitor.record_scan(label or self.name, len(lost))
+            return len(lost)
+
+        return probe
 
     # ------------------------------------------------------------------
     def on_solve_start(self, state) -> None:

@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from repro.experiments.common import ExperimentConfig
+from repro.runtime.backend import BACKEND_NAMES
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.fig4 import format_fig4, run_fig4
 from repro.experiments.fig5 import format_fig5, run_fig5
@@ -27,15 +28,16 @@ QUICK_RATES = (1.0, 10.0, 50.0)
 EXPERIMENTS = ("table2", "table3", "fig3", "fig4", "fig5")
 
 
-def make_config(quick: bool) -> ExperimentConfig:
+def make_config(quick: bool, backend: str = "simulated") -> ExperimentConfig:
     if quick:
         return ExperimentConfig(matrices=QUICK_MATRICES, repetitions=1,
-                                max_iterations=6000, tolerance=1e-9)
-    return ExperimentConfig(repetitions=2)
+                                max_iterations=6000, tolerance=1e-9,
+                                backend=backend)
+    return ExperimentConfig(repetitions=2, backend=backend)
 
 
-def run_one(name: str, quick: bool) -> str:
-    config = make_config(quick)
+def run_one(name: str, quick: bool, backend: str = "simulated") -> str:
+    config = make_config(quick, backend)
     if name == "table2":
         return format_table2(run_table2(config))
     if name == "table3":
@@ -59,12 +61,20 @@ def main(argv=None) -> int:
                         help="which table/figure to regenerate")
     parser.add_argument("--quick", action="store_true",
                         help="use the reduced matrix/rate grid")
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="simulated",
+                        help="execution backend of the solver-driven "
+                             "experiments (table2, table3, fig3, fig4); "
+                             "'threaded' additionally reports measured "
+                             "wall-clock overheads.  fig5 is the analytic "
+                             "cluster model and runs no solver, so the "
+                             "flag does not apply to it")
     args = parser.parse_args(argv)
 
     targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in targets:
         print(f"\n=== {name} ===")
-        print(run_one(name, args.quick))
+        print(run_one(name, args.quick, args.backend))
     return 0
 
 

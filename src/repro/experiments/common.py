@@ -44,6 +44,13 @@ class ExperimentConfig:
     repetitions: int = 2
     preconditioned: bool = False
     checkpoint_interval: Optional[int] = None
+    #: Execution backend for every solver of the experiment.  With
+    #: ``"threaded"`` the drivers additionally report *measured*
+    #: wall-clock overheads next to the simulated ones; the simulated
+    #: numbers themselves are backend-independent.
+    backend: str = "simulated"
+    #: Wall-clock pacing of the threaded backend (see ``SolverConfig``).
+    pace: float = 1.0
 
     def solver_config(self) -> SolverConfig:
         return SolverConfig(tolerance=self.tolerance,
@@ -52,7 +59,9 @@ class ExperimentConfig:
                             page_size=self.page_size,
                             cost_model=self.cost_model,
                             work_scale=self.work_scale,
-                            record_history=True)
+                            record_history=True,
+                            backend=self.backend,
+                            pace=self.pace)
 
 
 @dataclass
@@ -64,6 +73,9 @@ class MethodRun:
     scenario: str
     result: SolveResult
     ideal_time: float
+    #: Measured wall-clock of the ideal baseline's real execution
+    #: (threaded backend only; 0.0 under pure simulation).
+    ideal_wall: float = 0.0
 
     @property
     def record(self) -> ConvergenceRecord:
@@ -74,6 +86,16 @@ class MethodRun:
         if self.ideal_time <= 0:
             raise ValueError("ideal time must be positive")
         return 100.0 * (self.result.solve_time - self.ideal_time) / self.ideal_time
+
+    @property
+    def measured_overhead_percent(self) -> Optional[float]:
+        """Wall-clock overhead of the real execution versus the ideal
+        run's real execution, or ``None`` under pure simulation."""
+        if self.ideal_wall <= 0 or self.result.wall_clock <= 0:
+            return None
+        from repro.analysis.overheads import measured_overhead_percent
+        return measured_overhead_percent(self.result.wall_clock,
+                                         self.ideal_wall)
 
 
 def build_problem(name: str, config: ExperimentConfig
@@ -104,7 +126,11 @@ def make_solver(A: sp.spmatrix, b: np.ndarray, method: Optional[str],
 def run_ideal(A: sp.spmatrix, b: np.ndarray, config: ExperimentConfig,
               matrix_name: str = "") -> SolveResult:
     """Fault-free, resilience-free baseline used as the "ideal CG"."""
-    return make_solver(A, b, None, None, config, matrix_name).solve()
+    solver = make_solver(A, b, None, None, config, matrix_name)
+    try:
+        return solver.solve()
+    finally:
+        solver.close()
 
 
 def run_method(A: sp.spmatrix, b: np.ndarray, method: str,
@@ -112,10 +138,14 @@ def run_method(A: sp.spmatrix, b: np.ndarray, method: str,
                config: ExperimentConfig, matrix_name: str = "") -> MethodRun:
     """Run one resilience method against the provided baseline."""
     solver = make_solver(A, b, method, scenario, config, matrix_name)
-    result = solver.solve(ideal_time=ideal.solve_time)
+    try:
+        result = solver.solve(ideal_time=ideal.solve_time)
+    finally:
+        solver.close()
     return MethodRun(matrix=matrix_name, method=method,
                      scenario=scenario.name if scenario else "fault-free",
-                     result=result, ideal_time=ideal.solve_time)
+                     result=result, ideal_time=ideal.solve_time,
+                     ideal_wall=ideal.wall_clock)
 
 
 def ideal_cache(config: ExperimentConfig,

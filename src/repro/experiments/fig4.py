@@ -84,7 +84,8 @@ def campaign_spec(config: ExperimentConfig,
         num_workers=config.num_workers, page_size=config.page_size,
         work_scale=config.work_scale, preconditioned=config.preconditioned,
         checkpoint_interval=config.checkpoint_interval,
-        cost_model=config.cost_model)
+        cost_model=config.cost_model,
+        backend=config.backend, pace=config.pace)
     return CampaignSpec(
         matrices=[MatrixSpec.suite(name, rhs_seed=config.seed)
                   for name in names],

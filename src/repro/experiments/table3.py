@@ -19,7 +19,7 @@ the ideal CG's shares, then averaged over matrices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -39,6 +39,9 @@ class Table3Result:
 
     increases: Dict[str, Dict[str, float]]
     config: ExperimentConfig
+    #: Mean *measured* per-state shares of the real execution (threaded
+    #: backend only): method -> state -> percent of wall worker-time.
+    measured_shares: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_rows(self) -> List[List[object]]:
         rows = []
@@ -61,11 +64,19 @@ def run_table3(config: Optional[ExperimentConfig] = None,
         "AFEIR": {"imbalance": [], "runtime": [], "useful": []},
         "FEIR": {"imbalance": [], "runtime": [], "useful": []},
     }
+    measured_accum: Dict[str, Dict[str, List[float]]] = {
+        "AFEIR": {}, "FEIR": {},
+    }
     for name, (A, b, ideal) in cache.items():
         base = ideal.trace.breakdown
         base_frac = base.fractions()
         for method in ("AFEIR", "FEIR"):
             run = run_method(A, b, method, None, ideal, config, matrix_name=name)
+            wall_trace = run.result.wall_trace
+            if wall_trace is not None:
+                for state, share in wall_trace.breakdown.fractions().items():
+                    measured_accum[method].setdefault(state, []).append(
+                        100.0 * share)
             frac = run.result.trace.breakdown.fractions()
             # Recovery-task execution counts as runtime-side work here: it is
             # activity the ideal run does not have, created by the runtime.
@@ -80,12 +91,24 @@ def run_table3(config: Optional[ExperimentConfig] = None,
     increases = {method: {state: float(np.mean(vals))
                           for state, vals in states.items()}
                  for method, states in accum.items()}
-    return Table3Result(increases=increases, config=config)
+    measured_shares = {method: {state: float(np.mean(vals))
+                                for state, vals in states.items()}
+                       for method, states in measured_accum.items() if states}
+    return Table3Result(increases=increases, config=config,
+                        measured_shares=measured_shares)
 
 
 def format_table3(result: Table3Result) -> str:
-    return format_table(
+    table = format_table(
         ["method", "imbalance %", "runtime %", "useful %",
          "paper imbalance %", "paper runtime %", "paper useful %"],
         result.as_rows(),
         title="Table 3: increase of time spent per state (FEIR methods)")
+    if result.measured_shares:
+        lines = [table, "", "measured wall-clock shares (threaded backend):"]
+        for method, states in result.measured_shares.items():
+            shares = "  ".join(f"{state}={value:.1f}%"
+                               for state, value in sorted(states.items()))
+            lines.append(f"  {method}: {shares}")
+        return "\n".join(lines)
+    return table

@@ -7,15 +7,26 @@ be placed either in the critical path (FEIR) or overlapped with the
 reduction tasks (AFEIR, Figure 2) and that this changes load imbalance
 and overhead — are claims about *task scheduling*.
 
-Pure Python cannot run such tasks truly concurrently (GIL), so this
-package provides a deterministic discrete-event simulator of a work-
-conserving priority list scheduler over ``P`` workers.  Task durations
-come from a calibrated :class:`~repro.runtime.cost_model.CostModel`
-(flops, memory traffic, per-task runtime overhead).  The simulator
-produces the same observable quantities the paper reports: makespan,
-and the per-state time breakdown (useful / runtime / idle) of Table 3.
+Two execution backends realise those claims behind one protocol
+(:class:`~repro.runtime.backend.ExecutionBackend`):
+
+* ``simulated`` — a deterministic discrete-event simulator of a work-
+  conserving priority list scheduler over ``P`` workers.  Task durations
+  come from a calibrated :class:`~repro.runtime.cost_model.CostModel`
+  (flops, memory traffic, per-task runtime overhead), and the simulator
+  produces the observable quantities the paper reports: makespan, and
+  the per-state time breakdown (useful / runtime / idle) of Table 3.
+* ``threaded`` (:mod:`repro.runtime.async_exec`) — the same graphs
+  additionally *execute for real* on a pool of worker threads with
+  dependency tracking, priority dispatch and per-page locks, measuring
+  wall-clock overlap and AFEIR's vulnerable window directly.
 """
 
+from repro.runtime.backend import (BACKEND_NAMES, ExecutionBackend,
+                                   ExecutionResult, SimulatedBackend,
+                                   WallInterval, make_backend)
+from repro.runtime.async_exec import (PageLockTable, ThreadedBackend,
+                                      VulnerableWindowMonitor)
 from repro.runtime.cost_model import CostModel
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ListScheduler, ScheduleResult
@@ -23,12 +34,21 @@ from repro.runtime.task import Task, TaskKind
 from repro.runtime.trace import ExecutionTrace, StateBreakdown
 
 __all__ = [
+    "BACKEND_NAMES",
     "CostModel",
+    "ExecutionBackend",
+    "ExecutionResult",
     "ExecutionTrace",
     "ListScheduler",
+    "PageLockTable",
     "ScheduleResult",
+    "SimulatedBackend",
     "StateBreakdown",
     "Task",
     "TaskGraph",
     "TaskKind",
+    "ThreadedBackend",
+    "VulnerableWindowMonitor",
+    "WallInterval",
+    "make_backend",
 ]

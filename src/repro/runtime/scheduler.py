@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.graph import TaskGraph
@@ -38,6 +38,13 @@ class ScheduleResult:
     trace: ExecutionTrace
     num_workers: int
     start_time: float = 0.0
+    #: Task names in the exact order the scheduler launched them.  This is
+    #: the order action replay uses; ``order_started()`` returns the same
+    #: sequence so the trace and the numerical replay can never disagree.
+    started: Optional[List[str]] = None
+    #: Return values of replayed task actions, keyed by task name
+    #: (populated only when the run executed actions).
+    values: Dict[str, object] = field(default_factory=dict)
 
     def start_of(self, name: str) -> float:
         return self.scheduled[name].start
@@ -46,9 +53,16 @@ class ScheduleResult:
         return self.scheduled[name].end
 
     def order_started(self) -> List[str]:
-        """Task names ordered by simulated start time."""
+        """Task names ordered by simulated start time.
+
+        Ties (equal start times) are broken by launch order — the same
+        tie-break the action replay uses — not by task name, so the two
+        orderings agree for equal-priority, equal-start tasks.
+        """
+        if self.started is not None:
+            return list(self.started)
         return [t.name for t in sorted(self.scheduled.values(),
-                                       key=lambda s: (s.start, s.name))]
+                                       key=lambda s: (s.start, s.seq))]
 
 
 class ListScheduler:
@@ -112,7 +126,8 @@ class ListScheduler:
                     end = begin + overhead + task.duration
                     scheduled[name] = ScheduledTask(
                         name=name, worker=worker, start=begin, end=end,
-                        kind=task.kind, overhead=overhead)
+                        kind=task.kind, overhead=overhead,
+                        seq=len(started_order))
                     started_order.append(name)
                     heapq.heappush(completions, (end, next(counter), name, worker))
                     launched = True
@@ -142,11 +157,12 @@ class ListScheduler:
 
         makespan = max((s.end for s in scheduled.values()), default=start_time)
 
+        values: Dict[str, object] = {}
         if execute_actions:
             for name in started_order:
                 action = tasks[name].action
                 if action is not None:
-                    action()
+                    values[name] = action()
 
         trace = ExecutionTrace.from_schedule(
             list(scheduled.values()), num_workers=self.num_workers,
@@ -154,4 +170,6 @@ class ListScheduler:
         return ScheduleResult(makespan=makespan - start_time,
                               scheduled=scheduled, trace=trace,
                               num_workers=self.num_workers,
-                              start_time=start_time)
+                              start_time=start_time,
+                              started=started_order,
+                              values=values)

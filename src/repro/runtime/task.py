@@ -77,6 +77,10 @@ class ScheduledTask:
     end: float
     kind: TaskKind
     overhead: float = 0.0
+    #: Launch sequence number assigned by the scheduler.  Tasks that start
+    #: at the same simulated time are ordered by ``seq`` everywhere (trace,
+    #: action replay), so the two views can never disagree.
+    seq: int = 0
 
     @property
     def duration(self) -> float:

@@ -18,8 +18,15 @@ Execution model
 Numerical work is performed eagerly with NumPy, while *time* is
 simulated: each iteration's task graph is scheduled on ``num_workers``
 workers by the list scheduler and the makespan advances the simulated
-clock.  Fault injection times are interpreted on that clock.  Within an
-iteration, faults are materialised at four check points:
+clock.  Fault injection times are interpreted on that clock.  With
+``SolverConfig(backend="threaded")`` the same graphs are *additionally*
+executed for real on worker threads each iteration — recovery tasks
+genuinely overlap the reductions, wall-clock time and per-state shares
+are measured, and the vulnerable-window monitor records the gap between
+each recovery task and its dependent scalar — while the simulated
+timeline stays authoritative for every clock-dependent decision, so the
+two backends agree bit-for-bit.  Within an iteration, faults are
+materialised at four check points:
 
 =====  ==============================  =========================
 point  position in the iteration       covering recovery task
@@ -64,9 +71,11 @@ from repro.matrices.sparse import SparseOperator
 from repro.memory.manager import MemoryManager
 from repro.memory.pages import PagedVector
 from repro.precond.base import Preconditioner
+from repro.runtime.async_exec import VulnerableWindowMonitor
+from repro.runtime.backend import ExecutionResult, make_backend
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.graph import TaskGraph
-from repro.runtime.scheduler import ListScheduler, ScheduleResult
+from repro.runtime.scheduler import ScheduleResult
 from repro.runtime.task import TaskKind
 from repro.runtime.trace import ExecutionTrace
 
@@ -92,6 +101,20 @@ class SolverConfig:
     #: Extra simulated cost of servicing one page fault (signal delivery,
     #: page re-mapping by the OS), charged per detected DUE.
     fault_service_time: float = 0.5e-3
+    #: Execution backend for the iteration task graphs: ``"simulated"``
+    #: (discrete-event only, the default) or ``"threaded"`` (the same
+    #: graphs additionally execute for real on worker threads, measuring
+    #: wall-clock overlap and the AFEIR vulnerable window).  The simulated
+    #: timeline — and therefore every clock-dependent decision — is
+    #: bit-identical between the two.
+    backend: str = "simulated"
+    #: Cap on the threaded backend's real thread count (``None``: one
+    #: thread per simulated worker, capped by ``REPRO_MAX_WORKERS``).
+    max_threads: Optional[int] = None
+    #: Wall-clock pacing of the threaded backend: each task occupies its
+    #: thread for at least ``duration * pace`` real seconds, so schedule
+    #: effects (overlap, barriers) are physically measurable.  0 disables.
+    pace: float = 1.0
 
 
 @dataclass
@@ -122,6 +145,15 @@ class SolveResult:
     trace: ExecutionTrace
     stats: RecoveryStats
     ideal_iteration_time: float = 0.0
+    #: Measured wall-clock seconds of real graph execution (threaded
+    #: backend only; 0.0 under pure simulation).
+    wall_clock: float = 0.0
+    #: Measured per-state accounting of the real execution, mirroring
+    #: the simulated ``trace`` (threaded backend only).
+    wall_trace: Optional[ExecutionTrace] = None
+    #: Digest of the vulnerable-window monitor: recovery scans executed,
+    #: measured windows, observed real overlap, DUEs landing in-window.
+    window_summary: Optional[Dict[str, object]] = None
 
     @property
     def converged(self) -> bool:
@@ -164,8 +196,20 @@ class ResilientCG:
         self.preconditioner = preconditioner
         self.scenario = scenario
         self.matrix_name = matrix_name
-        self.scheduler = ListScheduler(self.config.num_workers,
-                                       cost_model=self.config.cost_model)
+        #: Graph construction is decoupled from graph execution: the
+        #: backend decides whether graphs are only timed (simulated) or
+        #: additionally executed on real threads (threaded).  Both share
+        #: one deterministic scheduler, so the simulated timeline is
+        #: backend-independent.
+        self.backend = make_backend(self.config.backend,
+                                    self.config.num_workers,
+                                    cost_model=self.config.cost_model,
+                                    max_threads=self.config.max_threads,
+                                    pace=self.config.pace)
+        self.scheduler = self.backend.scheduler
+        self.monitor = VulnerableWindowMonitor()
+        self._wall_clock = 0.0
+        self._wall_trace: Optional[ExecutionTrace] = None
         self._chunk_bounds = self._compute_chunks()
         self._template: Optional[_IterationTemplate] = None
         if self.strategy is not None and hasattr(self.strategy, "work_scale"):
@@ -176,12 +220,22 @@ class ResilientCG:
     # ==================================================================
     # public API
     # ==================================================================
+    def close(self) -> None:
+        """Release the execution backend's real resources (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ResilientCG":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def ideal_iteration_time(self) -> float:
         """Makespan of one fault-free iteration without resilience tasks."""
         graph = self._build_iteration_graph(iteration=0, resilient=False,
                                             recovery_durations=None,
                                             checkpoint=False)
-        return self.scheduler.run(graph, execute_actions=False).makespan
+        return self.backend.simulate(graph).makespan
 
     def estimate_ideal_time(self, iterations_hint: Optional[int] = None) -> float:
         """Ideal solve time: iteration makespan times the iteration count.
@@ -205,6 +259,9 @@ class ResilientCG:
         cfg = self.config
         stats = RecoveryStats()
         history = ResidualHistory()
+        self.monitor = VulnerableWindowMonitor()
+        self._wall_clock = 0.0
+        self._wall_trace = None
         memory = MemoryManager()
         vectors = self._allocate_vectors(memory, x0)
         state = CGState(
@@ -221,7 +278,8 @@ class ResilientCG:
                                        matrix=self.matrix_name)
             return SolveResult(x=np.zeros(self.n), record=record,
                                trace=ExecutionTrace(cfg.num_workers),
-                               stats=stats)
+                               stats=stats,
+                               window_summary=self.monitor.summary())
 
         injections = self._build_injection_schedule(memory, ideal_time)
         pending = list(injections)
@@ -267,6 +325,7 @@ class ResilientCG:
             use_template = (not checkpoint_now
                             and next_time > clock + template.makespan)
             if use_template:
+                graph1 = None
                 makespan1 = template.makespan
                 point_times = {k: clock + v
                                for k, v in template.rel_point_times.items()}
@@ -275,8 +334,7 @@ class ResilientCG:
                 graph1 = self._build_iteration_graph(
                     iteration, resilient=self._uses_recovery_tasks(),
                     recovery_durations=None, checkpoint=checkpoint_now)
-                sched1 = self.scheduler.run(graph1, start_time=clock,
-                                            execute_actions=False)
+                sched1 = self.backend.simulate(graph1, start_time=clock)
                 makespan1 = sched1.makespan
                 point_times = {k: clock + v
                                for k, v in self._point_times(sched1, iteration).items()}
@@ -301,7 +359,8 @@ class ResilientCG:
                 clock2 = self._advance_clock(
                     clock, iteration, makespan1, trace1, recovery_work,
                     fault_service, checkpoint_now, trace_total,
-                    faults=bool(batch))
+                    faults=bool(batch), state=state, this_d=this_d,
+                    graph1=graph1)
                 clock = clock2
                 rel = float(np.linalg.norm(g) / b_norm)
                 if cfg.record_history:
@@ -341,7 +400,8 @@ class ResilientCG:
                 clock = self._advance_clock(
                     clock, iteration, makespan1, trace1, recovery_work,
                     fault_service, checkpoint_now, trace_total,
-                    faults=bool(batch))
+                    faults=bool(batch), state=state, this_d=this_d,
+                    graph1=graph1)
                 if true_rel <= cfg.tolerance * 10:
                     converged = True
                     rel = true_rel
@@ -414,7 +474,8 @@ class ResilientCG:
                 clock = self._advance_clock(
                     clock, iteration, makespan1, trace1, recovery_work,
                     fault_service, checkpoint_now, trace_total,
-                    faults=bool(batch))
+                    faults=bool(batch), state=state, this_d=this_d,
+                    graph1=graph1)
                 rel = float(np.linalg.norm(g) / b_norm)
                 history.append(iteration, clock, rel)
                 continue
@@ -445,7 +506,8 @@ class ResilientCG:
 
             clock = self._advance_clock(
                 clock, iteration, makespan1, trace1, recovery_work,
-                fault_service, checkpoint_now, trace_total, faults=bool(batch))
+                fault_service, checkpoint_now, trace_total, faults=bool(batch),
+                state=state, this_d=this_d, graph1=graph1)
 
             if restart_requested:
                 if rolled_back:
@@ -477,7 +539,10 @@ class ResilientCG:
             restarts=stats.restarts, rollbacks=stats.rollbacks)
         return SolveResult(x=np.array(x, copy=True), record=record,
                            trace=trace_total, stats=stats,
-                           ideal_iteration_time=t_iter_ideal)
+                           ideal_iteration_time=t_iter_ideal,
+                           wall_clock=self._wall_clock,
+                           wall_trace=self._wall_trace,
+                           window_summary=self.monitor.summary())
 
     # ==================================================================
     # construction helpers
@@ -561,6 +626,8 @@ class ResilientCG:
         t = iteration
         critical = (self.strategy.recovery_in_critical_path
                     if self.strategy is not None else False)
+        rec_priority = (self.strategy.recovery_task_priority
+                        if self.strategy is not None else 0)
         rec = recovery_durations or {}
         check = cm.recovery_check()
 
@@ -582,7 +649,7 @@ class ResilientCG:
             r2_deps = rho_parts if critical else precond_names
             graph.add_task(f"r2_{t}", rec.get("r2", check),
                            kind=TaskKind.RECOVERY,
-                           priority=0 if critical else -1, deps=r2_deps)
+                           priority=rec_priority, deps=r2_deps)
             scalar_rho_deps.append(f"r2_{t}")
         graph.add_task(f"beta{t}", cm.scalar_task(), kind=TaskKind.REDUCTION,
                        deps=scalar_rho_deps)
@@ -613,7 +680,7 @@ class ResilientCG:
             r1_deps = dq_parts if critical else q_parts
             graph.add_task(f"r1_{t}", rec.get("r1", check),
                            kind=TaskKind.RECOVERY,
-                           priority=0 if critical else -1, deps=r1_deps)
+                           priority=rec_priority, deps=r1_deps)
             scalar_alpha_deps.append(f"r1_{t}")
         graph.add_task(f"alpha{t}", cm.scalar_task(), kind=TaskKind.REDUCTION,
                        deps=scalar_alpha_deps)
@@ -632,7 +699,7 @@ class ResilientCG:
             r3_deps = update_parts if critical else [f"alpha{t}"]
             graph.add_task(f"r3_{t}", rec.get("r3", check),
                            kind=TaskKind.RECOVERY,
-                           priority=0 if critical else -1, deps=r3_deps)
+                           priority=rec_priority, deps=r3_deps)
 
         # --- checkpoint write ----------------------------------------------------
         if checkpoint and isinstance(self.strategy, CheckpointStrategy):
@@ -648,12 +715,104 @@ class ResilientCG:
             graph = self._build_iteration_graph(
                 iteration=0, resilient=self._uses_recovery_tasks(),
                 recovery_durations=None, checkpoint=False)
-            sched = self.scheduler.run(graph, execute_actions=False)
+            sched = self.backend.simulate(graph)
             rel_times = self._point_times(sched, 0)
             self._template = _IterationTemplate(
                 makespan=sched.makespan, rel_point_times=rel_times,
                 trace=sched.trace)
         return self._template
+
+    # ==================================================================
+    # real (threaded) graph execution
+    # ==================================================================
+    def _execute_iteration_for_real(self, iteration: int, checkpoint_now: bool,
+                                    state: CGState, this_d: str,
+                                    graph: Optional[TaskGraph] = None) -> None:
+        """Run this iteration's task graph on the backend's real threads.
+
+        The graph structure is the one the simulator timed — including
+        the enlarged recovery durations when this iteration repaired
+        faults, so pacing charges the same recovery work the simulated
+        timeline does.  ``graph`` is the iteration's already-built graph
+        when one exists; it is ``None`` only on the template fast path
+        (fault-free, no checkpoint), where an equivalent graph is built
+        here.  Every task carries a real (read-only, bitwise-neutral)
+        action: partial dot products for the reduction chunks, memory
+        touches for the vector-update chunks, and the strategy's
+        recovery scan for the r1/r2/r3 tasks.  Measured wall intervals
+        feed the vulnerable-window monitor and the wall-clock overhead
+        accounting.
+        """
+        if graph is None:
+            graph = self._build_iteration_graph(
+                iteration, resilient=self._uses_recovery_tasks(),
+                recovery_durations=None, checkpoint=checkpoint_now)
+        self._attach_real_actions(graph, iteration, state, this_d)
+        # execute(), not run(): the simulated timeline of this iteration
+        # is already known (pass 1 / template), so only the measured side
+        # is computed here.
+        result = self.backend.execute(graph)
+        pairs = (tuple(self.strategy.vulnerable_pairs(iteration))
+                 if self._uses_recovery_tasks() else ())
+        self.monitor.observe(result, pairs)
+        self._accumulate_wall(result)
+
+    def _attach_real_actions(self, graph: TaskGraph, iteration: int,
+                             state: CGState, this_d: str) -> None:
+        """Give every task of one iteration graph a real executable body."""
+        t = iteration
+        vectors = state.vectors
+        g = vectors["g"].array
+        x = vectors["x"].array
+        q = vectors["q"].array
+        d_cur = vectors[this_d].array
+
+        def dot_chunk(u: np.ndarray, v: np.ndarray, sl: slice):
+            def action(u=u, v=v, sl=sl) -> float:
+                return float(u[sl] @ v[sl])
+            return action
+
+        def touch_chunk(u: np.ndarray, sl: slice):
+            def action(u=u, sl=sl) -> float:
+                return float(np.sum(u[sl]))
+            return action
+
+        for c, (start, stop) in enumerate(self._chunk_bounds):
+            sl = slice(start, stop)
+            chunk_actions = {
+                f"z{t}:{c}": touch_chunk(g, sl),
+                f"rho{t}:{c}": dot_chunk(g, g, sl),
+                f"d{t}:{c}": touch_chunk(d_cur, sl),
+                f"q{t}:{c}": touch_chunk(q, sl),
+                f"dq{t}:{c}": dot_chunk(d_cur, q, sl),
+                f"x{t}:{c}": touch_chunk(x, sl),
+                f"g{t}:{c}": touch_chunk(g, sl),
+            }
+            for name, action in chunk_actions.items():
+                if name in graph:
+                    graph.task(name).action = action
+        if self.strategy is not None:
+            for key in ("r1", "r2", "r3"):
+                name = f"{key}_{t}"
+                if name in graph:
+                    graph.task(name).action = self.strategy.recovery_probe(
+                        state.memory, self.monitor, label=name)
+        ckpt_name = f"ckpt{t}"
+        if ckpt_name in graph:
+            graph.task(ckpt_name).action = touch_chunk(x, slice(0, self.n))
+
+    def _accumulate_wall(self, result: ExecutionResult) -> None:
+        self._wall_clock += result.wall_time
+        threads = getattr(self.backend, "thread_count",
+                          self.backend.num_workers)
+        step = ExecutionTrace(num_workers=threads)
+        step.breakdown.add(result.measured_breakdown(threads))
+        step.wall_time = result.wall_time
+        step.task_count = len(result.wall_intervals)
+        if self._wall_trace is None:
+            self._wall_trace = step
+        else:
+            self._wall_trace.accumulate(step)
 
     def _point_times(self, sched: ScheduleResult, iteration: int
                      ) -> Dict[str, float]:
@@ -692,21 +851,41 @@ class ResilientCG:
     def _advance_clock(self, clock: float, iteration: int, makespan1: float,
                        trace1: ExecutionTrace, recovery_work: Dict[str, float],
                        fault_service: float, checkpoint_now: bool,
-                       trace_total: ExecutionTrace, faults: bool) -> float:
-        """Second timing pass with the actual recovery durations."""
+                       trace_total: ExecutionTrace, faults: bool,
+                       state: CGState, this_d: str,
+                       graph1: Optional[TaskGraph] = None) -> float:
+        """Second timing pass with the actual recovery durations.
+
+        This is the single per-iteration choke point, so the threaded
+        backend's real execution also runs here — with the *actual*
+        recovery durations when faults enlarged the recovery tasks, so
+        the measured wall clock and state shares account for the same
+        recovery work the simulated timeline charges.  ``graph1`` (the
+        pass-1 graph, when one was built this iteration) is reused for
+        the real execution in the common no-extra-recovery case instead
+        of constructing an identical graph again.
+        """
         extra_work = sum(recovery_work.values())
+        cm = self.config.cost_model
+        rec_graph = None
+        if (faults or extra_work != 0.0) and self._uses_recovery_tasks():
+            durations = {key: cm.recovery_check() + value
+                         for key, value in recovery_work.items()}
+            rec_graph = self._build_iteration_graph(
+                iteration, resilient=True, recovery_durations=durations,
+                checkpoint=checkpoint_now)
+        if self.backend.executes_real:
+            # Reuse whichever graph this iteration already has; attaching
+            # actions is invisible to the pass-2 simulate below (it never
+            # executes them).
+            self._execute_iteration_for_real(
+                iteration, checkpoint_now, state, this_d,
+                graph=rec_graph if rec_graph is not None else graph1)
         if not faults and extra_work == 0.0:
             trace_total.accumulate(trace1)
             return clock + makespan1
-        cm = self.config.cost_model
-        if self._uses_recovery_tasks():
-            durations = {key: cm.recovery_check() + value
-                         for key, value in recovery_work.items()}
-            graph = self._build_iteration_graph(
-                iteration, resilient=True, recovery_durations=durations,
-                checkpoint=checkpoint_now)
-            sched = self.scheduler.run(graph, start_time=clock,
-                                       execute_actions=False)
+        if rec_graph is not None:
+            sched = self.backend.simulate(rec_graph, start_time=clock)
             trace_total.accumulate(sched.trace)
             return clock + sched.makespan + fault_service
         # Signal-handler methods (Lossy/ckpt/Trivial): the recovery work is
@@ -745,7 +924,11 @@ class ResilientCG:
                     late[key].add(inj.page)
                     memory.mark_recovered(inj.vector, inj.page)
                     stats.contributions_skipped += 1
+                    self.monitor.note_due(inj.vector, inj.page, inj.time,
+                                          point, in_window=True)
                     continue
+            self.monitor.note_due(inj.vector, inj.page, inj.time,
+                                  point, in_window=False)
             in_time.append((inj.vector, inj.page))
 
         if not in_time:

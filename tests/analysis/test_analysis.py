@@ -72,6 +72,16 @@ class TestOverheads:
         with pytest.raises(ValueError):
             parallel_efficiency(1.0, 0.0)
 
+    def test_measured_overhead_allows_negative_noise(self):
+        from repro.analysis.overheads import measured_overhead_percent
+        assert measured_overhead_percent(1.1, 1.0) == pytest.approx(10.0)
+        # Real executions are noisy: faster-than-ideal is a valid reading.
+        assert measured_overhead_percent(0.9, 1.0) == pytest.approx(-10.0)
+        with pytest.raises(ValueError):
+            measured_overhead_percent(1.0, 0.0)
+        with pytest.raises(ValueError):
+            measured_overhead_percent(-0.1, 1.0)
+
 
 class TestResidualHistory:
     def test_append_and_final_values(self):

@@ -1,0 +1,77 @@
+"""Guards on the campaign executors: worker caps, validation, empty input."""
+
+import pytest
+
+from repro.campaign.executors import (ChunkedExecutor, ProcessPoolExecutor,
+                                      SerialExecutor, default_worker_count,
+                                      make_executor)
+from repro.config import (MAX_WORKERS_ENV, max_workers_override,
+                          resolve_worker_count)
+
+
+def double(x):
+    return 2 * x
+
+
+class TestWorkerResolution:
+    def test_default_is_at_least_one(self):
+        assert default_worker_count() >= 1
+
+    def test_env_override_caps_default(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+        assert max_workers_override() == 2
+        assert default_worker_count() <= 2
+
+    def test_env_override_caps_explicit_requests(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "3")
+        assert ProcessPoolExecutor(max_workers=16).max_workers == 3
+        assert ChunkedExecutor(max_workers=16).max_workers == 3
+
+    def test_blank_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "  ")
+        assert max_workers_override() is None
+
+    @pytest.mark.parametrize("bad", ["zero?", "-1", "0"])
+    def test_invalid_env_values_raise(self, monkeypatch, bad):
+        monkeypatch.setenv(MAX_WORKERS_ENV, bad)
+        with pytest.raises(ValueError, match=MAX_WORKERS_ENV):
+            resolve_worker_count()
+
+    @pytest.mark.parametrize("bad", [0, -4])
+    def test_non_positive_requests_raise(self, bad):
+        with pytest.raises(ValueError, match="must be positive"):
+            resolve_worker_count(bad)
+        with pytest.raises(ValueError, match="must be positive"):
+            ProcessPoolExecutor(max_workers=bad)
+        with pytest.raises(ValueError, match="must be positive"):
+            ChunkedExecutor(max_workers=bad)
+
+
+class TestRunGuards:
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ProcessPoolExecutor(max_workers=2),
+        ChunkedExecutor(max_workers=2, chunk_size=2),
+    ])
+    def test_empty_items_yield_nothing(self, executor):
+        assert list(executor.run(double, [])) == []
+
+    def test_single_item_short_circuits_to_serial(self):
+        # A locally-unpicklable closure proves no process pool was used.
+        bump = []
+        results = list(ProcessPoolExecutor(max_workers=4).run(
+            lambda x: bump.append(x) or x + 1, [41]))
+        assert results == [42] and bump == [41]
+
+    def test_chunked_single_chunk_short_circuits_to_serial(self):
+        bump = []
+        results = list(ChunkedExecutor(max_workers=4, chunk_size=10).run(
+            lambda x: bump.append(x) or x, [1, 2, 3]))
+        assert results == [1, 2, 3] and bump == [1, 2, 3]
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_invalid_chunk_size_raises(self, bad):
+        with pytest.raises(ValueError, match="chunk size"):
+            ChunkedExecutor(chunk_size=bad)
+        with pytest.raises(ValueError, match="chunk size"):
+            make_executor("chunked", chunk_size=bad)

@@ -84,6 +84,34 @@ class TestBasicScheduling:
         scheduler(2).run(graph)
         assert order == ["a", "b"]
 
+    def test_trace_and_replay_agree_on_equal_start_ties(self):
+        """Regression: two equal-priority tasks starting at the same time.
+
+        The action replay runs in launch order (insertion order for ties)
+        while ``order_started()`` used to sort ties by task *name* — so a
+        graph whose insertion order differs from its name order made the
+        trace and the numerical replay disagree.  They must be identical.
+        """
+        order = []
+        graph = TaskGraph()
+        # Insertion order ("b" first) deliberately differs from name order.
+        graph.add_task("b", 1.0, action=lambda: order.append("b"))
+        graph.add_task("a", 1.0, action=lambda: order.append("a"))
+        result = scheduler(2).run(graph)
+        assert result.start_of("a") == result.start_of("b")
+        assert order == ["b", "a"]
+        assert result.order_started() == order
+
+    def test_order_started_fallback_sorts_by_launch_seq(self):
+        """Without the stored launch order the sort falls back to the
+        scheduler-assigned sequence numbers, not names."""
+        graph = TaskGraph()
+        graph.add_task("b", 1.0)
+        graph.add_task("a", 1.0)
+        result = scheduler(2).run(graph)
+        result.started = None
+        assert result.order_started() == ["b", "a"]
+
     def test_actions_can_be_disabled(self):
         called = []
         graph = TaskGraph()
