@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "trial: 'simulated' (discrete-event only) or "
                              "'threaded' (real concurrent execution; same "
                              "fingerprint)")
+    parser.add_argument("--ranks", type=int, default=1,
+                        help="rank-parallel kernel execution inside each "
+                             "trial: strip-partitioned spmv with real halo "
+                             "exchange and tree allreduces; results and the "
+                             "fingerprint are bit-identical to --ranks 1")
     parser.add_argument("--workers", type=int, default=None,
                         help="pool worker count (pool executors only)")
     parser.add_argument("--chunk-size", type=int, default=None,
@@ -73,7 +78,8 @@ def main(argv=None) -> int:
                               max_iterations=args.max_iterations,
                               page_size=args.page_size,
                               preconditioned=args.preconditioned,
-                              backend=args.backend),
+                              backend=args.backend,
+                              ranks=args.ranks),
             name="cli")
         executor = make_executor(args.executor, max_workers=args.workers,
                                  chunk_size=args.chunk_size)

@@ -45,7 +45,8 @@ def _solver_config(knobs: SolverKnobs):
                         work_scale=knobs.work_scale,
                         record_history=knobs.record_history,
                         backend=knobs.backend,
-                        pace=knobs.pace)
+                        pace=knobs.pace,
+                        ranks=knobs.ranks)
 
 
 def _problem(matrix: MatrixSpec) -> tuple:

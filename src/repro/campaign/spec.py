@@ -174,11 +174,21 @@ class SolverKnobs:
     backend: str = "simulated"
     #: Wall-clock pacing of the threaded backend (see ``SolverConfig``).
     pace: float = 1.0
+    #: Rank-parallel kernel execution inside each trial
+    #: (``SolverConfig.ranks``); the reproducible reductions keep every
+    #: aggregate and the campaign fingerprint bit-identical to 1 rank.
+    ranks: int = 1
 
     def __post_init__(self):
         if self.backend not in BACKEND_NAMES:
             raise ValueError(f"unknown execution backend {self.backend!r}; "
                              f"known backends: {', '.join(BACKEND_NAMES)}")
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.ranks > 1 and self.backend != "simulated":
+            raise ValueError(
+                f"ranks={self.ranks} requires the 'simulated' backend; the "
+                f"rank runtime owns the real kernel execution")
 
 
 @dataclass(frozen=True)

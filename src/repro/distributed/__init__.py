@@ -1,28 +1,41 @@
-"""Simulated distributed-memory (MPI + tasks) layer for the scaling study.
+"""Distributed-memory layer: measured rank execution + analytic scaling.
 
 The paper's Section 5.5 runs a hybrid MPI + OmpSs CG on 64 to 1024 cores
 of MareNostrum (one MPI rank per 8-core socket) solving a 27-point
 stencil Poisson problem, and reports speedups for the five resilience
 methods under one and two injected errors per run.
 
-Real MPI is not available offline (and pure Python could not exercise it
-meaningfully anyway), so this package models the distributed execution
-analytically on top of the same cost model used by the single-node
-runtime: per-rank strip partitions, neighbour halo exchanges whose
-volume follows the stencil bandwidth, and tree allreduces for the CG
-scalars.  The per-iteration numerical behaviour (how many extra
-iterations a restart costs, how long a recovery takes) is taken from the
-single-node machinery, so the speedup curves reflect the same trade-offs
-the paper measures.
+This package now covers that setup from two complementary angles:
+
+* :mod:`repro.distributed.ranks` **really executes** the strip
+  partition at small scale: one rank worker per
+  :class:`~repro.distributed.partition.RankPartition` row strip, halo
+  exchange of the search direction over shared-memory message queues,
+  reproducibly-ordered tree allreduces for the dot products, and
+  recovery dispatched to the rank owning the corrupted page — with
+  every transfer wall-clock timed (``SolverConfig(ranks=N)``).
+* :class:`~repro.distributed.cluster.ClusterModel` projects the same
+  iteration structure analytically to the paper's 512^3 problem on up
+  to 1024 cores, using a :class:`~repro.distributed.comm.CommunicationModel`
+  whose interconnect constants default to InfiniBand-era values and can
+  be calibrated from the measured rank-runtime exchanges
+  (:func:`~repro.distributed.comm.fit_communication_model`).
 """
 
-from repro.distributed.partition import StripPartition
-from repro.distributed.comm import CommunicationModel
+from repro.distributed.partition import RankPartition, StripPartition
+from repro.distributed.comm import CommunicationModel, fit_communication_model
 from repro.distributed.cluster import ClusterModel, ScalingResult
+from repro.distributed.ranks import (RankCommStats, RankKernelEngine,
+                                     RankRuntime)
 
 __all__ = [
     "ClusterModel",
     "CommunicationModel",
+    "RankCommStats",
+    "RankKernelEngine",
+    "RankPartition",
+    "RankRuntime",
     "ScalingResult",
     "StripPartition",
+    "fit_communication_model",
 ]

@@ -116,6 +116,12 @@ class ClusterModel:
     cost_model: CostModel = DEFAULT_COST_MODEL
     tolerance: float = 1e-10
     checkpoint_interval: int = 50
+    #: Interconnect model used for halo/allreduce terms.  Defaults to the
+    #: InfiniBand-ish constants of :class:`CommunicationModel`; pass one
+    #: calibrated by
+    #: :func:`~repro.distributed.comm.fit_communication_model` to anchor
+    #: the projection on *measured* rank-runtime exchanges.
+    comm_model: Optional[CommunicationModel] = None
     _iteration_cache: Dict = field(default_factory=dict, repr=False)
     _calibration: Dict = field(default_factory=dict, repr=False)
 
@@ -171,11 +177,12 @@ class ClusterModel:
 
     def iteration_time(self, num_ranks: int, method: str = "ideal") -> float:
         """Per-iteration wall time of the hybrid CG at the target scale."""
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
         key = (num_ranks, method)
         if key in self._iteration_cache:
             return self._iteration_cache[key]
         cm = self.cost_model
-        comm = CommunicationModel(cm)
         n = self._target_rows()
         rows = n / num_ranks
         nnz = 27.0 * rows
@@ -184,14 +191,9 @@ class ClusterModel:
         flops = 2.0 * nnz + 5.0 * 2.0 * rows
         bytes_moved = 12.0 * nnz + 10.0 * 8.0 * rows
         compute = cm.kernel_time(flops, bytes_moved) / self.workers_per_rank
-        # Halo: two grid planes of the strip partition.
-        halo_entries = 2.0 * self.target_points ** 2
-        neighbours = 2 if num_ranks > 2 else 1
-        halo = comm.halo_exchange(int(halo_entries), neighbours)
-        reductions = 2.0 * comm.allreduce(num_ranks)
         # Task runtime overhead: ~6 strip-mined task groups per iteration.
         runtime = 6.0 * cm.task_overhead
-        time = compute + halo + reductions + runtime
+        time = compute + self.comm_time_per_iteration(num_ranks) + runtime
         # Method-specific fault-free per-iteration overhead.
         if method == "FEIR":
             time += 3.0 * (cm.task_overhead + cm.recovery_check())
@@ -202,6 +204,29 @@ class ClusterModel:
             time += cm.checkpoint_write(volume) / self.checkpoint_interval
         self._iteration_cache[key] = time
         return time
+
+    def neighbour_planes(self, num_ranks: int) -> List[int]:
+        """Per-neighbour halo sizes of an interior rank's strip.
+
+        A single rank owns the whole domain and exchanges nothing — the
+        old ``2 if num_ranks > 2 else 1`` floor charged ~a millisecond
+        of phantom halo per iteration at ``num_ranks == 1``, skewing
+        every sweep whose smallest configuration collapses to one rank.
+        """
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        plane = int(self.target_points ** 2)
+        if num_ranks == 1:
+            return []
+        if num_ranks == 2:
+            return [plane]
+        return [plane, plane]
+
+    def comm_time_per_iteration(self, num_ranks: int) -> float:
+        """Halo + allreduce share of one CG iteration at ``num_ranks``."""
+        comm = self.comm_model or CommunicationModel(self.cost_model)
+        return (comm.halo_exchange(self.neighbour_planes(num_ranks))
+                + 2.0 * comm.allreduce(num_ranks))
 
     def _per_error_cost(self, method: str, num_ranks: int) -> float:
         """Critical-path time added by servicing one DUE at the target scale."""
@@ -234,14 +259,18 @@ class ClusterModel:
         ``executor`` (a campaign executor) parallelises the calibration
         solves; the analytic extrapolation itself is instantaneous.
         """
+        if not core_counts:
+            raise ValueError("core_counts must not be empty")
+        for cores in core_counts:
+            self._ranks_for(cores)      # validate before any solve runs
         calibration = self._calibrate(executor=executor)
         results: List[ScalingResult] = []
         ref_cores = min(core_counts)
-        ref_ranks = max(1, ref_cores // self.workers_per_rank)
+        ref_ranks = self._ranks_for(ref_cores)
         ref_time = (calibration["ideal"][0]
                     * self.iteration_time(ref_ranks, "ideal"))
         for cores in core_counts:
-            ranks = max(1, cores // self.workers_per_rank)
+            ranks = self._ranks_for(cores)
             # Ideal reference at this core count.
             ideal_time = calibration["ideal"][0] * self.iteration_time(ranks, "ideal")
             results.append(ScalingResult(
@@ -262,11 +291,22 @@ class ClusterModel:
                         parallel_efficiency=speedup / (cores / ref_cores)))
         return results
 
+    def _ranks_for(self, cores: int) -> int:
+        """Rank count at ``cores``, refusing the degenerate configurations
+        that used to be silently clamped to one rank."""
+        if cores < self.workers_per_rank:
+            raise ValueError(
+                f"{cores} cores cannot host a {self.workers_per_rank}"
+                f"-worker rank; the old behaviour silently clamped this to "
+                f"1 rank, skewing the sweep (lower workers_per_rank or "
+                f"raise the core count)")
+        return cores // self.workers_per_rank
+
     def ideal_parallel_efficiency(self, cores: int,
                                   reference_cores: int = 64) -> float:
         """Parallel efficiency of the ideal CG at ``cores`` (paper: 80.17%)."""
-        ranks = max(1, cores // self.workers_per_rank)
-        ref_ranks = max(1, reference_cores // self.workers_per_rank)
+        ranks = self._ranks_for(cores)
+        ref_ranks = self._ranks_for(reference_cores)
         ref = self.iteration_time(ref_ranks, "ideal")
         cur = self.iteration_time(ranks, "ideal")
         return (ref / cur) / (cores / reference_cores)

@@ -19,7 +19,8 @@ from repro.experiments.common import ExperimentConfig
 from repro.runtime.backend import BACKEND_NAMES
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.fig4 import format_fig4, run_fig4
-from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig5 import (format_fig5, format_fig5_measured,
+                                    run_fig5, run_fig5_measured)
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3, run_table3
 
@@ -28,16 +29,18 @@ QUICK_RATES = (1.0, 10.0, 50.0)
 EXPERIMENTS = ("table2", "table3", "fig3", "fig4", "fig5")
 
 
-def make_config(quick: bool, backend: str = "simulated") -> ExperimentConfig:
+def make_config(quick: bool, backend: str = "simulated",
+                ranks: int = 1) -> ExperimentConfig:
     if quick:
         return ExperimentConfig(matrices=QUICK_MATRICES, repetitions=1,
                                 max_iterations=6000, tolerance=1e-9,
-                                backend=backend)
-    return ExperimentConfig(repetitions=2, backend=backend)
+                                backend=backend, ranks=ranks)
+    return ExperimentConfig(repetitions=2, backend=backend, ranks=ranks)
 
 
-def run_one(name: str, quick: bool, backend: str = "simulated") -> str:
-    config = make_config(quick, backend)
+def run_one(name: str, quick: bool, backend: str = "simulated",
+            ranks: int = 1, measured: bool = False) -> str:
+    config = make_config(quick, backend, ranks)
     if name == "table2":
         return format_table2(run_table2(config))
     if name == "table3":
@@ -49,7 +52,13 @@ def run_one(name: str, quick: bool, backend: str = "simulated") -> str:
         result = run_fig4(config, rates=rates) if rates else run_fig4(config)
         return format_fig4(result)
     if name == "fig5":
-        return format_fig5(run_fig5(calibration_points=16 if quick else 24))
+        text = format_fig5(run_fig5(calibration_points=16 if quick else 24))
+        if measured:
+            rank_counts = (1, 2, 4) if ranks == 1 else (1, ranks)
+            measured_result = run_fig5_measured(
+                ranks=rank_counts, points=8 if quick else 10)
+            text += "\n\n" + format_fig5_measured(measured_result)
+        return text
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -69,12 +78,26 @@ def main(argv=None) -> int:
                              "wall-clock overheads.  fig5 is the analytic "
                              "cluster model and runs no solver, so the "
                              "flag does not apply to it")
+    parser.add_argument("--ranks", type=int, default=1,
+                        help="rank-parallel kernel execution inside every "
+                             "solver (strip partition, real halo exchange, "
+                             "tree allreduce); bit-identical to --ranks 1")
+    parser.add_argument("--measured", action="store_true",
+                        help="fig5 only: additionally run the measured "
+                             "mini-Figure-5 — a small problem really "
+                             "executed on 1-4 rank workers, with per-"
+                             "iteration halo/allreduce wall times reported "
+                             "next to the analytic projection and used to "
+                             "calibrate its interconnect constants")
     args = parser.parse_args(argv)
+    if args.measured and args.experiment not in ("fig5", "all"):
+        parser.error("--measured only applies to fig5")
 
     targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in targets:
         print(f"\n=== {name} ===")
-        print(run_one(name, args.quick, args.backend))
+        print(run_one(name, args.quick, args.backend,
+                      ranks=args.ranks, measured=args.measured))
     return 0
 
 

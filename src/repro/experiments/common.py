@@ -51,6 +51,11 @@ class ExperimentConfig:
     backend: str = "simulated"
     #: Wall-clock pacing of the threaded backend (see ``SolverConfig``).
     pace: float = 1.0
+    #: Rank-parallel kernel execution (``SolverConfig.ranks``): with
+    #: ``ranks > 1`` every solver of the experiment strip-partitions its
+    #: kernels over that many rank workers with real halo exchange and
+    #: tree allreduces.  Results are bit-identical to ``ranks=1``.
+    ranks: int = 1
 
     def solver_config(self) -> SolverConfig:
         return SolverConfig(tolerance=self.tolerance,
@@ -61,7 +66,8 @@ class ExperimentConfig:
                             work_scale=self.work_scale,
                             record_history=True,
                             backend=self.backend,
-                            pace=self.pace)
+                            pace=self.pace,
+                            ranks=self.ranks)
 
 
 @dataclass

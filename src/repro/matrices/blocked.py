@@ -49,6 +49,7 @@ class PageBlockedMatrix:
         self.num_blocks = page_count(self.n, self.page_size)
         self._diag_blocks: Dict[int, np.ndarray] = {}
         self._lu_factors: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._slab_cache: Dict[Tuple[int, int], sp.csr_matrix] = {}
 
     # ------------------------------------------------------------------
     def block_slice(self, block: int) -> slice:
@@ -108,12 +109,46 @@ class PageBlockedMatrix:
         """Full product ``A v`` on whichever backend is in use."""
         return self.A @ v
 
+    def row_slab(self, start: int, stop: int) -> sp.csr_matrix:
+        """CSR of rows ``[start, stop)`` over all columns (cached).
+
+        Works on both backends; the rank runtime uses it to hand each
+        rank its strip of the matrix.
+        """
+        if not 0 <= start <= stop <= self.n:
+            raise ValueError(f"row slab [{start}, {stop}) out of range "
+                             f"for {self.n} rows")
+        key = (start, stop)
+        if key not in self._slab_cache:
+            if self.uses_sparse_operator:
+                p0 = int(self.A.indptr[start])
+                p1 = int(self.A.indptr[stop])
+                slab = sp.csr_matrix(
+                    (self.A.data[p0:p1], self.A.indices[p0:p1],
+                     self.A.indptr[start:stop + 1] - p0),
+                    shape=(stop - start, self.n))
+            else:
+                slab = self.A[start:stop, :].tocsr()
+            self._slab_cache[key] = slab
+        return self._slab_cache[key]
+
+    def range_product(self, start: int, stop: int,
+                      v: np.ndarray) -> np.ndarray:
+        """``(A v)[start:stop]`` computed with the backend's own kernel.
+
+        The result is bitwise equal to slicing the full product: both
+        backends accumulate each row's nonzeros in storage order, so a
+        strip-partitioned mat-vec reassembles the single-address-space
+        one exactly.
+        """
+        if self.uses_sparse_operator:
+            return self.A.row_slab_matvec(start, stop, v)
+        return self.row_slab(start, stop) @ v
+
     def block_row_product(self, block: int, v: np.ndarray) -> np.ndarray:
         """``(A v)`` restricted to the rows of ``block``."""
         sl = self.block_slice(block)
-        if self.uses_sparse_operator:
-            return self.A.row_slab_matvec(sl.start, sl.stop, v)
-        return self.A[sl.start:sl.stop, :] @ v
+        return self.range_product(sl.start, sl.stop, v)
 
     def column_block_dense(self, block: int) -> np.ndarray:
         """Dense copy of the full columns of ``block`` (n x block_size).

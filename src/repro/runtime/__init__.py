@@ -20,6 +20,15 @@ Two execution backends realise those claims behind one protocol
   additionally *execute for real* on a pool of worker threads with
   dependency tracking, priority dispatch and per-page locks, measuring
   wall-clock overlap and AFEIR's vulnerable window directly.
+
+A second, orthogonal protocol decides *where the numerical kernels
+execute* (:class:`~repro.runtime.kernels.KernelEngine`): in this address
+space (:class:`~repro.runtime.kernels.LocalKernelEngine`) or strip-
+partitioned over rank workers with real halo exchange and tree
+allreduces (:class:`~repro.distributed.ranks.RankKernelEngine`).  Every
+engine reduces dot products in fixed page order
+(:func:`~repro.runtime.kernels.paged_dot`), so results are bit-identical
+across engines and rank counts.
 """
 
 from repro.runtime.backend import (BACKEND_NAMES, ExecutionBackend,
@@ -27,6 +36,8 @@ from repro.runtime.backend import (BACKEND_NAMES, ExecutionBackend,
                                    WallInterval, make_backend)
 from repro.runtime.async_exec import (PageLockTable, ThreadedBackend,
                                       VulnerableWindowMonitor)
+from repro.runtime.kernels import (KernelEngine, LocalKernelEngine,
+                                   make_kernel_engine, paged_dot)
 from repro.runtime.cost_model import CostModel
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ListScheduler, ScheduleResult
@@ -39,7 +50,9 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionResult",
     "ExecutionTrace",
+    "KernelEngine",
     "ListScheduler",
+    "LocalKernelEngine",
     "PageLockTable",
     "ScheduleResult",
     "SimulatedBackend",
@@ -51,4 +64,6 @@ __all__ = [
     "VulnerableWindowMonitor",
     "WallInterval",
     "make_backend",
+    "make_kernel_engine",
+    "paged_dot",
 ]

@@ -74,6 +74,7 @@ from repro.precond.base import Preconditioner
 from repro.runtime.async_exec import VulnerableWindowMonitor
 from repro.runtime.backend import ExecutionResult, make_backend
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.kernels import make_kernel_engine
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ScheduleResult
 from repro.runtime.task import TaskKind
@@ -115,6 +116,13 @@ class SolverConfig:
     #: thread for at least ``duration * pace`` real seconds, so schedule
     #: effects (overlap, barriers) are physically measurable.  0 disables.
     pace: float = 1.0
+    #: Rank-parallel execution (``repro.distributed.ranks``): with
+    #: ``ranks > 1`` the numerical kernels are strip-partitioned over
+    #: that many rank workers with real halo exchange, tree allreduces
+    #: and owner-local recovery.  The reductions are reproducibly
+    #: ordered, so results are bit-identical to ``ranks=1``; the
+    #: simulated timeline is unaffected either way.
+    ranks: int = 1
 
 
 @dataclass
@@ -154,6 +162,10 @@ class SolveResult:
     #: Digest of the vulnerable-window monitor: recovery scans executed,
     #: measured windows, observed real overlap, DUEs landing in-window.
     window_summary: Optional[Dict[str, object]] = None
+    #: Measured inter-rank communication of the rank-parallel engine
+    #: (:class:`~repro.distributed.ranks.RankCommStats`); ``None`` for
+    #: single-rank solves.
+    rank_stats: Optional[object] = None
 
     @property
     def converged(self) -> bool:
@@ -207,6 +219,23 @@ class ResilientCG:
                                     max_threads=self.config.max_threads,
                                     pace=self.config.pace)
         self.scheduler = self.backend.scheduler
+        #: Kernel execution is likewise decoupled: the engine decides
+        #: *where* the spmv/axpy/dot/recovery numerics run — in this
+        #: address space (``ranks=1``) or strip-partitioned over rank
+        #: workers with real halo exchange and tree allreduces.  The
+        #: reductions are reproducibly ordered, so every engine produces
+        #: bit-identical iterates and recovery decisions.
+        if self.config.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, "
+                             f"got {self.config.ranks}")
+        if self.config.ranks > 1 and self.config.backend != "simulated":
+            raise ValueError(
+                f"ranks={self.config.ranks} requires the 'simulated' "
+                f"timing backend: the rank runtime owns the real "
+                f"execution, and combining it with the threaded backend "
+                f"would execute every kernel twice")
+        self.engine = make_kernel_engine(self.blocked,
+                                         ranks=self.config.ranks)
         self.monitor = VulnerableWindowMonitor()
         self._wall_clock = 0.0
         self._wall_trace: Optional[ExecutionTrace] = None
@@ -221,8 +250,9 @@ class ResilientCG:
     # public API
     # ==================================================================
     def close(self) -> None:
-        """Release the execution backend's real resources (idempotent)."""
+        """Release the backend's and engine's real resources (idempotent)."""
         self.backend.close()
+        self.engine.close()
 
     def __enter__(self) -> "ResilientCG":
         return self
@@ -297,7 +327,7 @@ class ResilientCG:
 
         x = vectors["x"].array
         g = vectors["g"].array
-        np.copyto(g, self.b - self.A @ x)
+        self.engine.residual(x, self.b, g)
         rel = float(np.linalg.norm(g) / b_norm)
         clock = 0.0
         history.append(0, clock, rel)
@@ -407,7 +437,7 @@ class ResilientCG:
                     rel = true_rel
                     history.append(iteration, clock, rel)
                     break
-                np.copyto(g, self.b - self.A @ x)   # resynchronise
+                self.engine.residual(x, self.b, g)  # resynchronise
                 restart_next = True
                 rho_old = 0.0
                 rel = float(np.linalg.norm(g) / b_norm)
@@ -420,7 +450,7 @@ class ResilientCG:
 
             # ---------------- d update (double buffered) --------------------
             state.current_d_name, state.previous_d_name = this_d, last_d
-            np.copyto(d_cur, z + beta * d_prev)
+            self.engine.update_direction(d_cur, z, beta, d_prev)
             for page in range(vectors[this_d].num_pages):
                 memory.overwrite(this_d, page)
 
@@ -441,8 +471,8 @@ class ResilientCG:
                 finish_restart()
                 continue
 
-            # ---------------- q = A d --------------------------------------
-            np.copyto(q, self.A @ d_cur)
+            # ---------------- q = A d (halo exchange of d in rank mode) -----
+            self.engine.spmv(d_cur, q)
             for page in range(vectors["q"].num_pages):
                 memory.overwrite("q", page)
 
@@ -468,7 +498,7 @@ class ResilientCG:
             stats.contributions_skipped += len(skip_dq)
             if dq <= 0.0:
                 # Breakdown after unrecovered corruption: resynchronise.
-                np.copyto(g, self.b - self.A @ x)
+                self.engine.residual(x, self.b, g)
                 restart_next = True
                 rho_old = 0.0
                 clock = self._advance_clock(
@@ -525,7 +555,7 @@ class ResilientCG:
                     converged = True
                     rel = true_rel
                 else:
-                    np.copyto(g, self.b - self.A @ x)
+                    self.engine.residual(x, self.b, g)
                     restart_next = True
                     rho_old = 0.0
 
@@ -542,7 +572,8 @@ class ResilientCG:
                            ideal_iteration_time=t_iter_ideal,
                            wall_clock=self._wall_clock,
                            wall_trace=self._wall_trace,
-                           window_summary=self.monitor.summary())
+                           window_summary=self.monitor.summary(),
+                           rank_stats=self.engine.comm_stats())
 
     # ==================================================================
     # construction helpers
@@ -947,12 +978,15 @@ class ResilientCG:
             remaining: List[Tuple[str, int]] = []
             for vector, page in in_time:
                 if vector == this_d:
-                    d_vec = state.vectors[this_d]
-                    sl = d_vec.page_slice(page)
-                    d_prev = state.vectors[state.previous_d_name].array
-                    d_vec.set_page(page, z[sl] + beta * d_prev[sl])
+                    def rebuild(page=page) -> None:
+                        d_vec = state.vectors[this_d]
+                        sl = d_vec.page_slice(page)
+                        d_prev = state.vectors[state.previous_d_name].array
+                        d_vec.set_page(page, z[sl] + beta * d_prev[sl])
+                    self.engine.run_on_owner(page, rebuild)
                     memory.mark_recovered(this_d, page)
                     stats.pages_recovered += 1
+                    sl = state.vectors[this_d].page_slice(page)
                     result["work"] += self.config.cost_model.axpy_block(
                         sl.stop - sl.start)
                 else:
@@ -961,7 +995,16 @@ class ResilientCG:
             if not in_time:
                 return result
 
-        outcome = self.strategy.handle_lost_pages(state, in_time, iteration)
+        # Recovery executes on the rank owning the first corrupted page
+        # (rank engines; local engines run inline).  The whole batch goes
+        # to one rank because simultaneous losses may need a *coupled*
+        # solve over the union of the pages (Section 2.4 case 1), which
+        # cannot be split along ownership lines; for the common
+        # single-page event this is exactly the paper's owner-local rule.
+        outcome = self.engine.run_on_owner(
+            in_time[0][1],
+            lambda: self.strategy.handle_lost_pages(state, in_time,
+                                                    iteration))
         stats.pages_recovered += len(outcome.recovered)
         stats.pages_unrecoverable += len(outcome.unrecoverable)
         stats.recovery_work_time += outcome.work_time
@@ -1007,14 +1050,20 @@ class ResilientCG:
 
         # q first (needed to repair d), then d (+ redo the x update), then g,
         # then x; all relations hold exactly at the end of the iteration.
+        # Each relation-based repair executes on the rank owning the page
+        # (the owner holds the strip of A and the slices the relation
+        # reads); local engines run the same closures inline.
         need_residual_resync = False
         for page in sorted(late["q"]):
             if page in late["d"]:
                 continue                     # related-data conflict, below
-            values = state.matvec_relation.recover_lhs_page(page, d_cur)
-            vectors["q"].set_page(page, values)
-            sl = vectors["q"].page_slice(page)
-            g[sl] -= alpha * values                      # redo skipped g update
+
+            def repair_q(page=page) -> None:
+                values = state.matvec_relation.recover_lhs_page(page, d_cur)
+                vectors["q"].set_page(page, values)
+                sl = vectors["q"].page_slice(page)
+                g[sl] -= alpha * values                  # redo skipped g update
+            self.engine.run_on_owner(page, repair_q)
             state.memory.mark_recovered("q", page)
             work += cm.spmv_block(blocked.nnz_of_block(page))
             stats.pages_recovered += 1
@@ -1028,10 +1077,13 @@ class ResilientCG:
                 stats.pages_unrecoverable += 1
                 need_residual_resync = True
                 continue
-            values = state.matvec_relation.recover_rhs_page(page, q, d_cur)
-            vectors[this_d].set_page(page, values)
-            sl = vectors[this_d].page_slice(page)
-            x[sl] += alpha * values                      # redo skipped x update
+
+            def repair_d(page=page) -> None:
+                values = state.matvec_relation.recover_rhs_page(page, q, d_cur)
+                vectors[this_d].set_page(page, values)
+                sl = vectors[this_d].page_slice(page)
+                x[sl] += alpha * values                  # redo skipped x update
+            self.engine.run_on_owner(page, repair_d)
             state.memory.mark_recovered(this_d, page)
             work += cm.block_solve(blocked.block_size(page),
                                    factorized=blocked.has_cached_factor(page))
@@ -1039,8 +1091,11 @@ class ResilientCG:
         for page in sorted(late["g"]):
             if page in late["x"]:
                 continue                     # related-data conflict, below
-            values = state.residual_relation.recover_residual_page(page, x)
-            vectors["g"].set_page(page, values)
+
+            def repair_g(page=page) -> None:
+                values = state.residual_relation.recover_residual_page(page, x)
+                vectors["g"].set_page(page, values)
+            self.engine.run_on_owner(page, repair_g)
             state.memory.mark_recovered("g", page)
             work += cm.spmv_block(blocked.nnz_of_block(page))
             stats.pages_recovered += 1
@@ -1052,14 +1107,17 @@ class ResilientCG:
                 stats.pages_unrecoverable += 1
                 need_residual_resync = True
                 continue
-            values = state.residual_relation.recover_iterate_page(page, g, x)
-            vectors["x"].set_page(page, values)
+
+            def repair_x(page=page) -> None:
+                values = state.residual_relation.recover_iterate_page(page, g, x)
+                vectors["x"].set_page(page, values)
+            self.engine.run_on_owner(page, repair_x)
             state.memory.mark_recovered("x", page)
             work += cm.block_solve(blocked.block_size(page),
                                    factorized=blocked.has_cached_factor(page))
             stats.pages_recovered += 1
         if need_residual_resync:
-            np.copyto(g, self.b - self.A @ x)
+            self.engine.residual(x, self.b, g)
             work += cm.kernel_time(2.0 * self.A.nnz,
                                    12.0 * self.A.nnz + 8.0 * self.n) \
                 * self.config.work_scale
@@ -1072,7 +1130,7 @@ class ResilientCG:
         """Recompute the residual from the iterate after a restart/rollback."""
         x = state.vectors["x"].array
         g = state.vectors["g"].array
-        np.copyto(g, self.b - self.A @ x)
+        self.engine.residual(x, self.b, g)
         for page in range(state.vectors["g"].num_pages):
             state.memory.overwrite("g", page)
 
@@ -1081,30 +1139,16 @@ class ResilientCG:
     # ==================================================================
     def _masked_dot(self, u: np.ndarray, v: np.ndarray,
                     skip_pages: Set[int]) -> float:
-        """Dot product excluding the contributions of ``skip_pages``."""
-        total = float(u @ v)
-        if not skip_pages:
-            return total
-        psize = self.config.page_size
-        for page in skip_pages:
-            start = page * psize
-            stop = min(start + psize, self.n)
-            if start >= self.n:
-                continue
-            total -= float(u[start:stop] @ v[start:stop])
-        return total
+        """Dot product excluding the contributions of ``skip_pages``.
+
+        Delegated to the kernel engine: the reduction is page-partitioned
+        and combined in fixed page order (skipped pages are zeroed before
+        the reduction, making the Section 3.3.2 skip protocol exact), so
+        single-rank and N-rank solves produce the same bits.
+        """
+        return self.engine.dot(u, v, skip_pages)
 
     def _masked_axpy(self, y: np.ndarray, a: float, v: np.ndarray,
                      skip_pages: Set[int]) -> None:
         """``y += a * v`` skipping the pages whose update must be deferred."""
-        if not skip_pages:
-            y += a * v
-            return
-        psize = self.config.page_size
-        keep = np.ones(self.n, dtype=bool)
-        for page in skip_pages:
-            start = page * psize
-            stop = min(start + psize, self.n)
-            if start < self.n:
-                keep[start:stop] = False
-        y[keep] += a * v[keep]
+        self.engine.axpy(y, a, v, skip_pages)

@@ -118,3 +118,53 @@ class TestClusterModel:
         first = model._calibrate()
         second = model._calibrate()
         assert first is second
+
+
+class TestClusterModelFixes:
+    """Regressions for the halo accounting and degenerate-config bugs."""
+
+    def test_single_rank_charges_no_communication(self):
+        """num_ranks == 1 must not pay the old phantom one-neighbour halo:
+        the iteration time is then independent of the network constants."""
+        base = ClusterModel(target_points=256, calibration_points=12)
+        crippled_net = ClusterModel(
+            target_points=256, calibration_points=12,
+            cost_model=DEFAULT_COST_MODEL.scaled(network_bandwidth=1e3,
+                                                 network_latency=1.0))
+        assert base.iteration_time(1) == crippled_net.iteration_time(1)
+        # Sanity: with more than one rank the network very much matters.
+        assert crippled_net.iteration_time(4) > 10 * base.iteration_time(4)
+
+    def test_two_ranks_charge_one_neighbour_plane(self):
+        model = ClusterModel(target_points=256, calibration_points=12)
+        comm = CommunicationModel(model.cost_model)
+        plane = 256 ** 2
+        two = model.iteration_time(2)
+        one = model.iteration_time(1)
+        # t(2) has half the compute of t(1) plus one plane of halo and
+        # the rank-2 allreduces; the halo share matches the comm model.
+        halo_and_reduce = comm.halo_exchange([plane]) + 2 * comm.allreduce(2)
+        compute_1 = one - 6.0 * model.cost_model.task_overhead
+        expected = (compute_1 / 2 + halo_and_reduce
+                    + 6.0 * model.cost_model.task_overhead)
+        assert two == pytest.approx(expected, rel=1e-12)
+
+    def test_degenerate_core_counts_are_loud(self):
+        model = ClusterModel(target_points=256, calibration_points=12)
+        with pytest.raises(ValueError, match="clamp"):
+            model.run(core_counts=(4, 64))
+        with pytest.raises(ValueError, match="clamp"):
+            model.ideal_parallel_efficiency(4)
+        with pytest.raises(ValueError, match="empty"):
+            model.run(core_counts=())
+        with pytest.raises(ValueError, match="num_ranks"):
+            model.iteration_time(0)
+
+    def test_comm_model_is_injectable(self):
+        slow = CommunicationModel(
+            DEFAULT_COST_MODEL.scaled(network_bandwidth=1e6))
+        base = ClusterModel(target_points=256, calibration_points=12)
+        calibrated = ClusterModel(target_points=256, calibration_points=12,
+                                  comm_model=slow)
+        assert calibrated.iteration_time(8) > base.iteration_time(8)
+        assert calibrated.iteration_time(1) == base.iteration_time(1)

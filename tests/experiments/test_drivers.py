@@ -7,7 +7,8 @@ import pytest
 from repro.experiments.common import ExperimentConfig, build_problem, run_ideal
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.fig4 import format_fig4, run_fig4
-from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig5 import (format_fig5, format_fig5_measured,
+                                    run_fig5, run_fig5_measured)
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3, run_table3
 
@@ -149,3 +150,47 @@ class TestFig5:
     def test_formatting(self, result):
         text = format_fig5(result)
         assert "Figure 5" in text and "parallel efficiency" in text
+
+
+@pytest.mark.ranks
+class TestFig5Measured:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5_measured(ranks=(1, 2), points=8,
+                                 methods=("ideal", "AFEIR"))
+
+    def test_grid_complete(self, result):
+        assert {(r.ranks, r.method) for r in result.rows} == \
+            {(1, "ideal"), (1, "AFEIR"), (2, "ideal"), (2, "AFEIR")}
+
+    def test_single_rank_moves_no_halo(self, result):
+        for row in result.rows:
+            if row.ranks == 1:
+                assert row.measured_halo_ms == 0.0
+                assert row.model_halo_ms == 0.0
+                assert row.halo_bytes == 0
+
+    def test_multi_rank_measures_real_communication(self, result):
+        for row in result.rows:
+            if row.ranks > 1:
+                assert row.halo_exchanges >= row.iterations
+                assert row.measured_halo_ms > 0.0
+                assert row.model_halo_ms > 0.0
+                assert row.halo_bytes > 0
+
+    def test_recovery_lands_on_a_rank(self, result):
+        afeir_multi = [r for r in result.rows
+                       if r.method == "AFEIR" and r.ranks > 1]
+        assert any(r.recoveries_by_rank for r in afeir_multi)
+
+    def test_calibration_produced(self, result):
+        assert result.fitted_latency > 0
+        assert result.fitted_bandwidth > 0
+        assert result.calibrated_comm_per_iter_1024 > 0
+        assert result.default_comm_per_iter_1024 > 0
+
+    def test_formatting(self, result):
+        text = format_fig5_measured(result)
+        assert "Figure 5, measured" in text
+        assert "halo us/ex (meas)" in text
+        assert "fitted" in text
