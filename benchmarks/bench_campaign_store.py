@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Campaign-store throughput benchmark: cold vs. warm, per executor.
+
+Runs one fixed campaign through every executor twice against a fresh
+store — a *cold* pass (every trial executes and persists) and a *warm*
+pass (every trial is served from the content-addressed store) — and
+reports trials/second for each, plus the warm/cold speedup.  The warm
+fingerprint is asserted byte-identical to the cold one, so the bench
+doubles as an end-to-end store-correctness check.
+
+Emits ``BENCH_campaign.json`` (schema below); CI uploads it as an
+artifact on every PR and the weekly job regenerates it at full size::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_store.py --quick
+    PYTHONPATH=src python benchmarks/bench_campaign_store.py \
+        --out BENCH_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign.engine import clear_caches, run_campaign
+from repro.campaign.executors import (ChunkedExecutor, ProcessPoolExecutor,
+                                      SerialExecutor)
+from repro.campaign.spec import CampaignSpec, SolverKnobs
+from repro.campaign.store import (STORE_SCHEMA_VERSION, CampaignStore,
+                                  clear_store_cache)
+
+BENCH_SCHEMA = 1
+
+
+def bench_spec(quick: bool) -> CampaignSpec:
+    """1 matrix x 2 methods x 3 rates x reps; ~24 quick / ~120 full."""
+    return CampaignSpec(
+        matrices=["laplacian2d:20" if quick else "laplacian2d:45"],
+        methods=("FEIR", "Lossy"),
+        rates=(1.0, 5.0, 20.0),
+        repetitions=4 if quick else 20,
+        seed=20150715,
+        knobs=SolverKnobs(tolerance=1e-8, max_iterations=4000,
+                          page_size=50 if quick else 128),
+        name="bench-store")
+
+
+def make_executors(workers: int):
+    return {
+        "serial": lambda: SerialExecutor(),
+        "process": lambda: ProcessPoolExecutor(max_workers=workers),
+        "chunked": lambda: ChunkedExecutor(max_workers=workers,
+                                           chunk_size=8),
+    }
+
+
+def timed_run(spec, executor, store):
+    clear_caches()
+    clear_store_cache()
+    started = time.perf_counter()
+    result = run_campaign(spec, executor=executor, store=store)
+    return result, time.perf_counter() - started
+
+
+def bench_executor(name, make, spec, workers) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        root = Path(tmp) / "store"
+        cold, cold_s = timed_run(spec, make(), CampaignStore(root))
+        warm, warm_s = timed_run(spec, make(), CampaignStore(root))
+    if warm.fingerprint() != cold.fingerprint():
+        raise SystemExit(f"{name}: warm fingerprint diverged from cold — "
+                         f"the store is corrupting results")
+    if warm.executed != 0:
+        raise SystemExit(f"{name}: warm pass executed {warm.executed} "
+                         f"trials, expected 0")
+    n = len(cold)
+    return {
+        "trials": n,
+        "cold": {"seconds": round(cold_s, 4),
+                 "trials_per_sec": round(n / cold_s, 2),
+                 "executed": cold.executed},
+        "warm": {"seconds": round(warm_s, 4),
+                 "trials_per_sec": round(n / warm_s, 2),
+                 "cache_hits": warm.cache_hits},
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "fingerprint": cold.fingerprint(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark campaign throughput, cold vs. warm store.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid (~24 trials; PR CI)")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        metavar="FILE", help="output JSON path")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    args = parser.parse_args(argv)
+
+    spec = bench_spec(args.quick)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "kind": "campaign-store-bench",
+        "store_schema": STORE_SCHEMA_VERSION,
+        "quick": args.quick,
+        "campaign": spec.describe(),
+        "workers": args.workers,
+        "host": {"python": platform.python_version(),
+                 "cpus": os.cpu_count()},
+        "executors": {},
+    }
+    for name, make in make_executors(args.workers).items():
+        payload["executors"][name] = bench_executor(name, make, spec,
+                                                    args.workers)
+        cold = payload["executors"][name]["cold"]["trials_per_sec"]
+        warm = payload["executors"][name]["warm"]["trials_per_sec"]
+        print(f"{name:8s} cold {cold:9.2f} trials/s   "
+              f"warm {warm:9.2f} trials/s   "
+              f"x{payload['executors'][name]['warm_speedup']}")
+
+    fingerprints = {e["fingerprint"]
+                    for e in payload["executors"].values()}
+    if len(fingerprints) != 1:
+        raise SystemExit("executors disagree on the campaign fingerprint")
+    payload["fingerprint"] = fingerprints.pop()
+
+    Path(args.out).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,15 @@ blow up as the error rate grows.
 
 The sweep is a declarative :class:`repro.campaign.CampaignSpec`; swap
 the executor name to fan the trials out over a process pool with
-identical (bit-for-bit) statistics::
+identical (bit-for-bit) statistics.  Trials go through the
+content-addressed campaign store by default, so re-running the sweep
+(or growing it with extra rates) only executes what is new —
+``REPRO_NO_STORE=1`` opts out::
 
     python examples/error_rate_campaign.py [matrix] [rates...]
     python examples/error_rate_campaign.py thermal2 1 10 50
     REPRO_EXECUTOR=process python examples/error_rate_campaign.py qa8fm
+    REPRO_NO_STORE=1 python examples/error_rate_campaign.py qa8fm
 """
 
 from __future__ import annotations
@@ -21,8 +25,9 @@ from __future__ import annotations
 import os
 import sys
 
-from repro.campaign import (DIVERGED_SLOWDOWN, CampaignSpec, MatrixSpec,
-                            SolverKnobs, make_executor, run_campaign)
+from repro.campaign import (DIVERGED_SLOWDOWN, CampaignSpec, CampaignStore,
+                            MatrixSpec, SolverKnobs, make_executor,
+                            run_campaign)
 
 
 def main(matrix: str = "qa8fm", rates=(1.0, 5.0, 20.0),
@@ -35,11 +40,15 @@ def main(matrix: str = "qa8fm", rates=(1.0, 5.0, 20.0),
         knobs=SolverKnobs(tolerance=1e-9, max_iterations=8000),
         name=f"error-rate-{matrix}")
     executor = make_executor(executor_name)
-    result = run_campaign(spec, executor=executor)
+    store = None if os.environ.get("REPRO_NO_STORE") else CampaignStore()
+    result = run_campaign(spec, executor=executor, store=store)
 
     print(f"matrix {matrix}: {len(result)} trials via the "
           f"{executor.describe()} executor "
-          f"({result.wall_time:.2f}s wall)\n")
+          f"({result.wall_time:.2f}s wall)")
+    if store is not None:
+        print(f"{store.stats_line()}")
+    print()
     print(result.format(title="Slowdown vs ideal CG (%), harmonic mean"))
     diverged = sum(1 for t in result.trials if not t.converged)
     if diverged:

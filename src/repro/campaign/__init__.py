@@ -30,30 +30,48 @@ Quick start::
 
 from repro.campaign.engine import run_campaign, run_trial, run_trials
 from repro.campaign.executors import (EXECUTOR_NAMES, CampaignExecutor,
-                                      ChunkedExecutor, ProcessPoolExecutor,
-                                      SerialExecutor, make_executor)
+                                      CampaignInterrupted, ChunkedExecutor,
+                                      ProcessPoolExecutor, SerialExecutor,
+                                      TripAfter, make_executor)
 from repro.campaign.results import (DIVERGED_SLOWDOWN, CampaignResult,
                                     CellStats, TrialResult)
 from repro.campaign.spec import (MATRIX_FAMILIES, CampaignSpec, MatrixSpec,
-                                 SolverKnobs, TrialSpec)
+                                 SolverKnobs, TrialSpec, content_hash,
+                                 parse_shard, shard_trials)
+from repro.campaign.store import (DEFAULT_STORE_PATH, STORE_ENV,
+                                  STORE_SCHEMA_VERSION, CampaignStore,
+                                  StoreSchemaError, default_store_root,
+                                  open_store)
 
 __all__ = [
     "CampaignExecutor",
+    "CampaignInterrupted",
     "CampaignResult",
     "CampaignSpec",
+    "CampaignStore",
     "CellStats",
     "ChunkedExecutor",
+    "DEFAULT_STORE_PATH",
     "DIVERGED_SLOWDOWN",
     "EXECUTOR_NAMES",
     "MATRIX_FAMILIES",
     "MatrixSpec",
     "ProcessPoolExecutor",
+    "STORE_ENV",
+    "STORE_SCHEMA_VERSION",
     "SerialExecutor",
     "SolverKnobs",
+    "StoreSchemaError",
     "TrialResult",
     "TrialSpec",
+    "TripAfter",
+    "content_hash",
+    "default_store_root",
     "make_executor",
+    "open_store",
+    "parse_shard",
     "run_campaign",
     "run_trial",
     "run_trials",
+    "shard_trials",
 ]

@@ -17,6 +17,8 @@ runs the trials or in which order they complete.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,6 +44,38 @@ def _operator_to_scipy(A):
 #: ``poisson2d``/``poisson3d27`` use the stencil generators.
 MATRIX_FAMILIES = ("suite", "laplacian1d", "laplacian2d", "poisson2d",
                    "poisson3d27")
+
+
+# ----------------------------------------------------------------------
+# content keys
+# ----------------------------------------------------------------------
+# Every spec object exposes a ``content_token()`` — a canonical string
+# over exactly the fields that determine a trial's numerical outcome —
+# and hashing that token gives the content address under which
+# :class:`repro.campaign.store.CampaignStore` caches artifacts.  Tokens
+# use ``repr`` for floats (shortest exact round-trip), so two specs have
+# equal tokens iff they are numerically the same spec.
+
+def content_hash(token: str) -> str:
+    """SHA-256 content address of a canonical spec token."""
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+def _scenario_token(scenario: Optional[ErrorScenario]) -> str:
+    """Canonical token of a scenario override (``name`` is cosmetic and
+    the seed is threaded per trial, so neither participates)."""
+    if scenario is None:
+        return "none"
+    fixed = ";".join(f"{inj.time!r}@{inj.vector}[{inj.page}]"
+                     for inj in scenario.fixed_injections)
+    return f"rate={float(scenario.normalized_rate)!r}/fixed=[{fixed}]"
+
+
+def _seed_token(seed: np.random.SeedSequence) -> str:
+    entropy = seed.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = ",".join(str(int(e)) for e in entropy)
+    return f"{entropy}/{tuple(seed.spawn_key)}"
 
 
 @dataclass(frozen=True)
@@ -73,6 +107,12 @@ class MatrixSpec:
             return self.name
         inner = ",".join(f"{k}={v}" for k, v in self.params)
         return f"{self.family}({inner})"
+
+    def content_token(self) -> str:
+        """Canonical token over everything :meth:`build` depends on."""
+        params = ",".join(f"{k}={v}" for k, v in self.params)
+        return (f"matrix/{self.family}/{self.name}/[{params}]/"
+                f"sparse={int(self.sparse)}/rhs_seed={self.rhs_seed}")
 
     @classmethod
     def suite(cls, name: str, sparse: bool = False,
@@ -190,6 +230,26 @@ class SolverKnobs:
                 f"ranks={self.ranks} requires the 'simulated' backend; the "
                 f"rank runtime owns the real kernel execution")
 
+    def content_token(self) -> str:
+        """Canonical token over every knob.
+
+        Conservative by design: knobs that are *proven* not to change
+        results (``backend``, ``ranks`` — the bit-identical invariants)
+        still participate, so the store can never paper over a broken
+        invariant by serving a trial cached under the other backend.
+        """
+        cost = ",".join(
+            f"{f.name}={getattr(self.cost_model, f.name)!r}"
+            for f in dataclasses.fields(self.cost_model))
+        return (f"knobs/tol={self.tolerance!r}/maxit={self.max_iterations}/"
+                f"workers={self.num_workers}/page={self.page_size}/"
+                f"scale={self.work_scale!r}/"
+                f"precond={int(self.preconditioned)}/"
+                f"ckpt={self.checkpoint_interval}/"
+                f"history={int(self.record_history)}/"
+                f"backend={self.backend}/pace={self.pace!r}/"
+                f"ranks={self.ranks}/cost[{cost}]")
+
 
 @dataclass(frozen=True)
 class TrialSpec:
@@ -205,6 +265,26 @@ class TrialSpec:
     #: Overrides the rate-based Poisson scenario when set (targeted
     #: injection grids; the per-trial seed is threaded in regardless).
     scenario: Optional[ErrorScenario] = None
+
+    def cell_token(self) -> str:
+        """Canonical token of the trial's campaign cell (no seed/knobs)."""
+        return (f"{self.matrix.content_token()}|method={self.method}|"
+                f"rate={float(self.rate)!r}|"
+                f"scenario={_scenario_token(self.scenario)}")
+
+    def content_token(self) -> str:
+        """Canonical token over everything that determines this trial's
+        :class:`~repro.campaign.results.TrialResult` — the cell, the
+        repetition, the seed material and every solver knob.  The trial
+        ``index`` is deliberately absent: it is an enumeration position,
+        not an input to the numerics, so a trial keeps its content
+        address when the surrounding grid grows."""
+        return (f"trial/v1|{self.cell_token()}|rep={self.repetition}|"
+                f"seed={_seed_token(self.seed)}|{self.knobs.content_token()}")
+
+    def store_key(self) -> str:
+        """Content address of this trial's result in the campaign store."""
+        return content_hash(self.content_token())
 
     def make_scenario(self) -> ErrorScenario:
         """The concrete, per-trial-seeded scenario this trial runs."""
@@ -254,9 +334,29 @@ class CampaignSpec:
         return (len(self.matrices) * len(self.methods) * len(self.rates)
                 * self.repetitions)
 
+    def trial_seed(self, matrix: MatrixSpec, method: str, rate: float,
+                   repetition: int) -> np.random.SeedSequence:
+        """The per-trial seed material, keyed on cell *content*.
+
+        The entropy is ``[campaign seed, sha256(cell token + repetition)
+        words]`` rather than a spawn-by-flat-index child, so a trial's
+        seed — and therefore its result and its store key — depends only
+        on the campaign seed and what the trial *is*, never on where it
+        sits in the expansion.  Adding a rate or a matrix to a sweep
+        leaves every pre-existing trial's seed untouched, which is what
+        makes warm-store campaigns incremental under grid growth.
+        """
+        token = (f"{matrix.content_token()}|method={method}|"
+                 f"rate={float(rate)!r}|"
+                 f"scenario={_scenario_token(self.scenario)}|"
+                 f"rep={repetition}")
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        words = [int.from_bytes(digest[i:i + 4], "big")
+                 for i in range(0, 16, 4)]
+        return np.random.SeedSequence([self.seed, *words])
+
     def expand(self) -> List[TrialSpec]:
-        """The flat, deterministic trial list with per-trial seed spawns."""
-        children = np.random.SeedSequence(self.seed).spawn(self.num_trials)
+        """The flat, deterministic trial list with content-keyed seeds."""
         trials: List[TrialSpec] = []
         index = 0
         for matrix in self.matrices:
@@ -266,10 +366,25 @@ class CampaignSpec:
                         trials.append(TrialSpec(
                             index=index, matrix=matrix, method=method,
                             rate=float(rate), repetition=rep,
-                            seed=children[index], knobs=self.knobs,
-                            scenario=self.scenario))
+                            seed=self.trial_seed(matrix, method, rate, rep),
+                            knobs=self.knobs, scenario=self.scenario))
                         index += 1
         return trials
+
+    def content_token(self) -> str:
+        """Canonical token of the whole campaign grid (``name`` is
+        cosmetic and absent, so renaming a campaign keeps its identity)."""
+        mats = ";".join(m.content_token() for m in self.matrices)
+        rates = ",".join(repr(float(r)) for r in self.rates)
+        return (f"campaign/v1|seed={self.seed}|matrices=[{mats}]|"
+                f"methods=[{','.join(self.methods)}]|rates=[{rates}]|"
+                f"reps={self.repetitions}|"
+                f"scenario={_scenario_token(self.scenario)}|"
+                f"{self.knobs.content_token()}")
+
+    def store_key(self) -> str:
+        """Content address identifying this campaign (journal, shards)."""
+        return content_hash(self.content_token())
 
     def describe(self) -> Dict[str, object]:
         """A JSON-friendly summary (logging, CLI)."""
@@ -282,3 +397,45 @@ class CampaignSpec:
             "seed": self.seed,
             "trials": self.num_trials,
         }
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse the CLI ``--shard i/N`` syntax into ``(index, count)``."""
+    part, sep, total = text.partition("/")
+    if not sep:
+        raise ValueError(f"shard spec {text!r} must look like i/N "
+                         f"(e.g. 0/4)")
+    try:
+        index, count = int(part), int(total)
+    except ValueError:
+        raise ValueError(f"shard spec {text!r}: both halves of i/N must "
+                         f"be integers") from None
+    if count <= 0:
+        raise ValueError(f"shard count must be positive, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} out of range for "
+                         f"{count} shards (valid: 0..{count - 1})")
+    return index, count
+
+
+def shard_trials(trials: Sequence[TrialSpec], index: int,
+                 count: int) -> List[TrialSpec]:
+    """Shard ``index`` of ``count`` of an expanded trial list.
+
+    Round-robin over the trial index, so every shard sees a balanced
+    mix of cells (contiguous strips would give one shard all the
+    expensive high-rate trials).  The selection depends only on the
+    expansion order, which is deterministic, so N shard runs partition
+    the campaign exactly; merging their partial results reproduces the
+    unsharded fingerprint byte-for-byte.
+    """
+    index, count = int(index), int(count)
+    if count <= 0:
+        raise ValueError(f"shard count must be positive, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} out of range for "
+                         f"{count} shards")
+    return [t for t in trials if t.index % count == index]

@@ -1,0 +1,406 @@
+"""Content-addressed on-disk store for campaign artifacts.
+
+Every artifact a campaign produces is a pure function of spec content:
+built matrices are functions of :class:`~repro.campaign.spec.MatrixSpec`,
+fault-free baselines of ``(matrix, knobs)``, and per-trial results of
+the full :meth:`~repro.campaign.spec.TrialSpec.content_token`.  The
+store exploits that by caching each artifact under the SHA-256 of its
+canonical token, which makes campaigns
+
+* **incremental** — re-running a sweep after adding one error rate only
+  executes the new cells (content-keyed seeds, see
+  ``CampaignSpec.trial_seed``, keep every old trial's address stable);
+* **resumable** — workers persist every completed trial immediately, so
+  an interrupted campaign restarts from its last persisted trial;
+* **shared** — a quick sub-grid campaign warms the cache for the full
+  sweep, across processes and across days.
+
+Layout under the root (default ``~/.cache/repro-campaign``, overridable
+via the ``REPRO_CAMPAIGN_STORE`` environment variable)::
+
+    SCHEMA                      # {"schema": 1} — version guard
+    trials/ab/<sha256>.json     # TrialResult payloads
+    baselines/ab/<sha256>.json  # ideal fault-free solve times (hex floats)
+    matrices/ab/<sha256>.npz    # built CSR matrices + right-hand sides
+    scalars/ab/<sha256>.json    # generic derived scalars (fig5 calibration)
+    journals/<sha256>.jsonl     # per-campaign progress journal
+
+Correctness anchor: a cache hit must be *byte-identical* to a cold
+computation.  JSON floats round-trip exactly in Python (``repr``-based),
+baselines are stored as ``float.hex()``, and matrices as raw ``.npz``
+arrays — the equivalence tests assert cold and warm fingerprints match
+bit-for-bit.  Writes go through a same-directory temp file plus
+``os.replace``, so concurrent workers (process pools, parallel shards
+on a shared filesystem) never observe half-written artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+#: Version of the on-disk layout and of every artifact payload.  Bump on
+#: any change to the serialization or to the content-token scheme.
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the store root directory.
+STORE_ENV = "REPRO_CAMPAIGN_STORE"
+
+#: Default store root (per-user, survives across campaigns).
+DEFAULT_STORE_PATH = "~/.cache/repro-campaign"
+
+#: Artifact kinds and their subdirectories.
+_KINDS = ("trials", "baselines", "matrices", "scalars")
+
+#: Default age beyond which ``gc`` prunes unreferenced entries (days).
+GC_DEFAULT_DAYS = 30
+
+
+class StoreSchemaError(RuntimeError):
+    """The store (or an artifact file) was written by an incompatible
+    schema version.  Deliberately *not* a ``ValueError``: callers must
+    surface it as an operator problem ("delete or repoint the store"),
+    never swallow it as a bad-input condition."""
+
+
+def default_store_root() -> Path:
+    """The store root honouring ``REPRO_CAMPAIGN_STORE``."""
+    override = os.environ.get(STORE_ENV)
+    if override is not None and override.strip():
+        return Path(override).expanduser()
+    return Path(DEFAULT_STORE_PATH).expanduser()
+
+
+class CampaignStore:
+    """Content-addressed artifact store rooted at ``root``.
+
+    Opening validates (or stamps) the schema version; all reads touch
+    the entry's mtime so garbage collection can prune entries that no
+    campaign has referenced for :data:`GC_DEFAULT_DAYS`.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root).expanduser() if root is not None \
+            else default_store_root()
+        self.hits = 0
+        self.misses = 0
+        self._ensure_schema()
+
+    # ------------------------------------------------------------------
+    # schema guard
+    # ------------------------------------------------------------------
+    @property
+    def _schema_path(self) -> Path:
+        return self.root / "SCHEMA"
+
+    def _ensure_schema(self) -> None:
+        if self._schema_path.exists():
+            try:
+                payload = json.loads(self._schema_path.read_text())
+                found = int(payload["schema"])
+            except (ValueError, KeyError, TypeError):
+                raise StoreSchemaError(
+                    f"campaign store at {self.root} has an unreadable "
+                    f"SCHEMA file; delete the directory or point "
+                    f"{STORE_ENV} somewhere else") from None
+            if found != STORE_SCHEMA_VERSION:
+                raise StoreSchemaError(
+                    f"campaign store at {self.root} was written by schema "
+                    f"v{found}, but this version of repro uses "
+                    f"v{STORE_SCHEMA_VERSION}; delete the directory or "
+                    f"point {STORE_ENV} at a fresh one")
+            return
+        if self.root.exists() and any(self.root.iterdir()):
+            raise StoreSchemaError(
+                f"directory {self.root} exists, is not empty and has no "
+                f"SCHEMA file — refusing to adopt it as a campaign store; "
+                f"delete it or point {STORE_ENV} at a fresh directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        for kind in _KINDS:
+            (self.root / kind).mkdir(exist_ok=True)
+        (self.root / "journals").mkdir(exist_ok=True)
+        self._atomic_write_text(
+            self._schema_path,
+            json.dumps({"schema": STORE_SCHEMA_VERSION}) + "\n")
+
+    # ------------------------------------------------------------------
+    # low-level helpers
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str, suffix: str = ".json") -> Path:
+        return self.root / kind / key[:2] / f"{key}{suffix}"
+
+    @staticmethod
+    def _atomic_write_text(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only shared store: hits still work, gc won't
+
+    def _load_json(self, path: Path) -> Optional[dict]:
+        """Read an artifact payload; unreadable entries self-heal as
+        misses, incompatible schemas fail loudly."""
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        found = payload.get("schema")
+        if found != STORE_SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"artifact {path} carries schema v{found}, expected "
+                f"v{STORE_SCHEMA_VERSION}; run `python -m repro.campaign "
+                f"store --gc --days 0` or delete the store at {self.root}")
+        self._touch(path)
+        return payload
+
+    def _put_json(self, kind: str, key: str, payload: dict) -> None:
+        payload = {"schema": STORE_SCHEMA_VERSION, **payload}
+        self._atomic_write_text(self._path(kind, key),
+                                json.dumps(payload, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    # trials
+    # ------------------------------------------------------------------
+    def get_trial(self, key: str):
+        """The cached :class:`TrialResult` under ``key``, or ``None``."""
+        from repro.campaign.results import TrialResult
+        payload = self._load_json(self._path("trials", key))
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return TrialResult(**payload["trial"])
+
+    def put_trial(self, key: str, result) -> None:
+        from dataclasses import asdict
+        self._put_json("trials", key, {"trial": asdict(result)})
+
+    # ------------------------------------------------------------------
+    # fault-free baselines
+    # ------------------------------------------------------------------
+    def get_baseline(self, key: str) -> Optional[float]:
+        payload = self._load_json(self._path("baselines", key))
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float.fromhex(payload["ideal_time"])
+
+    def put_baseline(self, key: str, ideal_time: float) -> None:
+        self._put_json("baselines", key,
+                       {"ideal_time": float(ideal_time).hex()})
+
+    # ------------------------------------------------------------------
+    # built matrices
+    # ------------------------------------------------------------------
+    def get_matrix(self, key: str):
+        """The cached ``(A, b)`` problem under ``key``, or ``None``.
+
+        Round-trips both CSR backends exactly: ``.npz`` stores the raw
+        ``data``/``indices``/``indptr`` arrays, so a warm build is
+        byte-identical to a cold one.
+        """
+        path = self._path("matrices", key, suffix=".npz")
+        try:
+            with np.load(path) as archive:
+                kind = str(archive["kind"])
+                shape = tuple(int(s) for s in archive["shape"])
+                data, indices, indptr, b = (archive["data"],
+                                            archive["indices"],
+                                            archive["indptr"], archive["b"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError, KeyError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self._touch(path)
+        self.hits += 1
+        if kind == "operator":
+            from repro.matrices.sparse import SparseOperator
+            return SparseOperator(data, indices, indptr, shape), b
+        import scipy.sparse as sp
+        return sp.csr_matrix((data, indices, indptr), shape=shape), b
+
+    def put_matrix(self, key: str, A, b) -> None:
+        from repro.matrices.sparse import SparseOperator
+        kind = "operator" if isinstance(A, SparseOperator) else "scipy"
+        path = self._path("matrices", key, suffix=".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, kind=kind,
+                         shape=np.asarray(A.shape, dtype=np.int64),
+                         data=A.data, indices=A.indices, indptr=A.indptr,
+                         b=np.asarray(b))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # generic derived scalars (fig5 calibration iteration counts, ...)
+    # ------------------------------------------------------------------
+    def get_scalar(self, key: str):
+        payload = self._load_json(self._path("scalars", key))
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["value"]
+
+    def put_scalar(self, key: str, value) -> None:
+        self._put_json("scalars", key, {"value": value})
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+    def journal_path(self, campaign_key: str) -> Path:
+        return self.root / "journals" / f"{campaign_key}.jsonl"
+
+    def journal_append(self, campaign_key: str, event: dict) -> None:
+        path = self.journal_path(campaign_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def journal_events(self, campaign_key: str) -> Iterator[dict]:
+        try:
+            with open(self.journal_path(campaign_key)) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        continue  # torn tail line from an interrupted run
+        except FileNotFoundError:
+            return
+
+    def journal_summary(self, campaign_key: str) -> Optional[Dict]:
+        """Completed-trial count and last event of a prior run, if any."""
+        persisted = set()
+        last = None
+        for event in self.journal_events(campaign_key):
+            last = event
+            if event.get("event") == "trial":
+                persisted.add(event.get("index"))
+        if last is None:
+            return None
+        return {"persisted": len(persisted), "last": last}
+
+    # ------------------------------------------------------------------
+    # stats / maintenance
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return f"store({self.root})"
+
+    def stats_line(self) -> str:
+        """Machine-greppable hit statistics (the CI store job parses
+        this exact shape)."""
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (f"store: root={self.root} hits={self.hits} "
+                f"misses={self.misses} hit-rate={rate:.1f}%")
+
+    def entry_count(self) -> Dict[str, int]:
+        counts = {}
+        for kind in _KINDS:
+            base = self.root / kind
+            counts[kind] = sum(1 for _ in base.glob("*/*")) \
+                if base.exists() else 0
+        counts["journals"] = sum(
+            1 for _ in (self.root / "journals").glob("*.jsonl")) \
+            if (self.root / "journals").exists() else 0
+        return counts
+
+    def gc(self, days: float = GC_DEFAULT_DAYS,
+           now: Optional[float] = None) -> Tuple[int, int]:
+        """Prune entries unreferenced for ``days`` days.
+
+        "Referenced" means read or written: every cache hit refreshes
+        the entry's mtime, so an artifact some weekly sweep still relies
+        on survives indefinitely while abandoned grids age out.
+        Returns ``(removed, kept)``.
+        """
+        if days < 0:
+            raise ValueError(f"gc age must be non-negative, got {days}")
+        cutoff = (now if now is not None else time.time()) - days * 86400.0
+        removed = kept = 0
+        for kind in (*_KINDS, "journals"):
+            base = self.root / kind
+            if not base.exists():
+                continue
+            pattern = "*.jsonl" if kind == "journals" else "*/*"
+            for path in base.glob(pattern):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        removed += 1
+                    else:
+                        kept += 1
+                except OSError:
+                    continue
+        return removed, kept
+
+
+# ----------------------------------------------------------------------
+# per-process store cache (worker processes reuse one handle)
+# ----------------------------------------------------------------------
+_STORE_CACHE: Dict[str, CampaignStore] = {}
+
+
+def open_store(root: Optional[os.PathLike] = None) -> CampaignStore:
+    """A per-process cached :class:`CampaignStore` for ``root``.
+
+    Pool workers call this once per trial; caching the handle keeps the
+    schema check off the per-trial path and lets hit/miss counters
+    aggregate per process.
+    """
+    resolved = str(Path(root).expanduser() if root is not None
+                   else default_store_root())
+    store = _STORE_CACHE.get(resolved)
+    if store is None:
+        store = CampaignStore(resolved)
+        _STORE_CACHE[resolved] = store
+    return store
+
+
+def clear_store_cache() -> None:
+    """Forget per-process store handles (tests)."""
+    _STORE_CACHE.clear()

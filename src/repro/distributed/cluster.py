@@ -62,6 +62,18 @@ class CalibrationTask:
     pages: int
     cost_model: CostModel = DEFAULT_COST_MODEL
 
+    def content_token(self) -> str:
+        """Canonical token for the campaign store: the measured iteration
+        count is a pure function of these fields."""
+        import dataclasses
+        cost = ",".join(f"{f.name}={getattr(self.cost_model, f.name)!r}"
+                        for f in dataclasses.fields(self.cost_model))
+        return (f"fig5-calibration/v1|method={self.method}|"
+                f"errors={self.errors}|points={self.calibration_points}|"
+                f"wpr={self.workers_per_rank}|tol={self.tolerance!r}|"
+                f"ckpt={self.checkpoint_interval}|tau={self.tau!r}|"
+                f"pages={self.pages}|cost[{cost}]")
+
 
 #: Per-process cache of the calibration problem (the same 27-point
 #: Poisson system serves every cell of the grid).
@@ -128,27 +140,59 @@ class ClusterModel:
     # ------------------------------------------------------------------
     # calibration runs (real numerics on the small problem)
     # ------------------------------------------------------------------
-    def _calibrate(self, executor=None) -> Dict:
+    def _ideal_calibration_key(self) -> str:
+        """Content address of the ideal calibration solve's outcome."""
+        import dataclasses
+
+        from repro.campaign.spec import content_hash
+        cost = ",".join(f"{f.name}={getattr(self.cost_model, f.name)!r}"
+                        for f in dataclasses.fields(self.cost_model))
+        return content_hash(
+            f"fig5-ideal/v1|points={self.calibration_points}|"
+            f"wpr={self.workers_per_rank}|tol={self.tolerance!r}|"
+            f"page=128|cost[{cost}]")
+
+    def _calibrate(self, executor=None, store=None) -> Dict:
         """Measure iteration counts per (method, errors) on the small problem.
 
         ``executor`` is an optional
         :class:`~repro.campaign.executors.CampaignExecutor`; the 15-cell
         (method x error count) grid of real solver runs is independent
         work, so it maps over the campaign executors exactly like
-        fault-injection trials do.
+        fault-injection trials do.  ``store`` (a
+        :class:`~repro.campaign.store.CampaignStore`) caches both the
+        ideal solve (``tau``, page count, iterations) and every cell's
+        measured iteration count by content address, so a warm Figure 5
+        re-run performs no calibration solves at all.
         """
         if self._calibration:
             return self._calibration
-        A, b = _calibration_problem(self.calibration_points)
-        cfg = SolverConfig(num_workers=self.workers_per_rank, page_size=128,
-                           tolerance=self.tolerance, record_history=False)
-        ideal_solver = ResilientCG(A, b, config=cfg)
-        pages = ideal_solver.blocked.num_blocks
-        ideal = ideal_solver.solve()
-        tau = ideal.record.solve_time
-        results: Dict = {"ideal": {0: ideal.record.iterations,
-                                   1: ideal.record.iterations,
-                                   2: ideal.record.iterations}}
+        from repro.campaign.spec import content_hash
+
+        ideal_key = self._ideal_calibration_key()
+        cached_ideal = store.get_scalar(ideal_key) if store is not None \
+            else None
+        if cached_ideal is not None:
+            tau = float.fromhex(cached_ideal["tau"])
+            pages = int(cached_ideal["pages"])
+            ideal_iterations = int(cached_ideal["iterations"])
+        else:
+            A, b = _calibration_problem(self.calibration_points)
+            cfg = SolverConfig(num_workers=self.workers_per_rank,
+                               page_size=128, tolerance=self.tolerance,
+                               record_history=False)
+            ideal_solver = ResilientCG(A, b, config=cfg)
+            pages = ideal_solver.blocked.num_blocks
+            ideal = ideal_solver.solve()
+            tau = ideal.record.solve_time
+            ideal_iterations = ideal.record.iterations
+            if store is not None:
+                store.put_scalar(ideal_key, {
+                    "tau": float(tau).hex(), "pages": pages,
+                    "iterations": ideal_iterations})
+        results: Dict = {"ideal": {0: ideal_iterations,
+                                   1: ideal_iterations,
+                                   2: ideal_iterations}}
         tasks = [CalibrationTask(method=name, errors=errors,
                                  calibration_points=self.calibration_points,
                                  workers_per_rank=self.workers_per_rank,
@@ -157,12 +201,22 @@ class ClusterModel:
                                  tau=tau, pages=pages,
                                  cost_model=self.cost_model)
                  for name in STRATEGY_NAMES for errors in (0, 1, 2)]
+        iteration_counts: Dict = {}
+        pending = []
+        for task in tasks:
+            cached = store.get_scalar(content_hash(task.content_token())) \
+                if store is not None else None
+            if cached is not None:
+                iteration_counts[(task.method, task.errors)] = int(cached)
+            else:
+                pending.append(task)
         if executor is None:
             from repro.campaign.executors import SerialExecutor
             executor = SerialExecutor()
-        iteration_counts = {
-            (task.method, task.errors): count
-            for task, count in executor.run(run_calibration_task, tasks)}
+        for task, count in executor.run(run_calibration_task, pending):
+            iteration_counts[(task.method, task.errors)] = count
+            if store is not None:
+                store.put_scalar(content_hash(task.content_token()), count)
         for name in STRATEGY_NAMES:
             results[name] = {errors: iteration_counts[(name, errors)]
                              for errors in (0, 1, 2)}
@@ -253,17 +307,19 @@ class ClusterModel:
     def run(self, core_counts: Sequence[int] = (64, 128, 256, 512, 1024),
             error_counts: Sequence[int] = (1, 2),
             methods: Sequence[str] = STRATEGY_NAMES,
-            executor=None) -> List[ScalingResult]:
+            executor=None, store=None) -> List[ScalingResult]:
         """Produce the Figure 5 dataset: speedups per method/cores/errors.
 
         ``executor`` (a campaign executor) parallelises the calibration
         solves; the analytic extrapolation itself is instantaneous.
+        ``store`` caches the calibration solves content-addressed, so a
+        warm re-run skips them entirely.
         """
         if not core_counts:
             raise ValueError("core_counts must not be empty")
         for cores in core_counts:
             self._ranks_for(cores)      # validate before any solve runs
-        calibration = self._calibrate(executor=executor)
+        calibration = self._calibrate(executor=executor, store=store)
         results: List[ScalingResult] = []
         ref_cores = min(core_counts)
         ref_ranks = self._ranks_for(ref_cores)

@@ -39,7 +39,7 @@ def make_config(quick: bool, backend: str = "simulated",
 
 
 def run_one(name: str, quick: bool, backend: str = "simulated",
-            ranks: int = 1, measured: bool = False) -> str:
+            ranks: int = 1, measured: bool = False, store=None) -> str:
     config = make_config(quick, backend, ranks)
     if name == "table2":
         return format_table2(run_table2(config))
@@ -49,10 +49,12 @@ def run_one(name: str, quick: bool, backend: str = "simulated",
         return format_fig3(run_fig3(config, matrix="thermal2"))
     if name == "fig4":
         rates = QUICK_RATES if quick else None
-        result = run_fig4(config, rates=rates) if rates else run_fig4(config)
+        result = run_fig4(config, rates=rates, store=store) if rates \
+            else run_fig4(config, store=store)
         return format_fig4(result)
     if name == "fig5":
-        text = format_fig5(run_fig5(calibration_points=16 if quick else 24))
+        text = format_fig5(run_fig5(calibration_points=16 if quick else 24,
+                                    store=store))
         if measured:
             rank_counts = (1, 2, 4) if ranks == 1 else (1, ranks)
             measured_result = run_fig5_measured(
@@ -89,15 +91,36 @@ def main(argv=None) -> int:
                              "iteration halo/allreduce wall times reported "
                              "next to the analytic projection and used to "
                              "calibrate its interconnect constants")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="campaign store directory for the fig4 sweep "
+                             "and fig5 calibration solves (default: "
+                             "REPRO_CAMPAIGN_STORE or "
+                             "~/.cache/repro-campaign)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="bypass the content-addressed campaign store "
+                             "(every trial and calibration solve executes)")
     args = parser.parse_args(argv)
     if args.measured and args.experiment not in ("fig5", "all"):
         parser.error("--measured only applies to fig5")
+
+    store = None
+    if not args.no_store:
+        from repro.campaign.store import (CampaignStore, StoreSchemaError,
+                                          default_store_root)
+        try:
+            store = CampaignStore(args.store if args.store is not None
+                                  else default_store_root())
+        except StoreSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in targets:
         print(f"\n=== {name} ===")
         print(run_one(name, args.quick, args.backend,
-                      ranks=args.ranks, measured=args.measured))
+                      ranks=args.ranks, measured=args.measured, store=store))
+    if store is not None:
+        print(f"\n{store.stats_line()}")
     return 0
 
 

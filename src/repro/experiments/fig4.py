@@ -98,12 +98,19 @@ def run_fig4(config: Optional[ExperimentConfig] = None,
              rates: Sequence[float] = PAPER_ERROR_RATES,
              matrices: Optional[Sequence[str]] = None,
              methods: Optional[Sequence[str]] = None,
-             executor: Optional[CampaignExecutor] = None) -> Fig4Result:
-    """Reproduce the Figure 4 sweep (possibly on a subset, for quick runs)."""
+             executor: Optional[CampaignExecutor] = None,
+             store=None) -> Fig4Result:
+    """Reproduce the Figure 4 sweep (possibly on a subset, for quick runs).
+
+    ``store`` (a :class:`~repro.campaign.store.CampaignStore`) routes
+    the sweep through the content-addressed cache: the quick grid warms
+    the full nine-matrix sweep, an aborted sweep resumes where it
+    stopped, and an unchanged re-run executes zero trials.
+    """
     config = config or ExperimentConfig()
     spec = campaign_spec(config, rates=rates, matrices=matrices,
                          methods=methods)
-    campaign = run_campaign(spec, executor=executor)
+    campaign = run_campaign(spec, executor=executor, store=store)
 
     grouped: Dict[Tuple[str, str, float], List[TrialResult]] = {}
     for trial in campaign.sorted_trials():

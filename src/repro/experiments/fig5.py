@@ -53,18 +53,21 @@ def run_fig5(core_counts: Sequence[int] = (64, 128, 256, 512, 1024),
              calibration_points: int = 24,
              target_points: int = 512,
              model: Optional[ClusterModel] = None,
-             executor=None) -> Fig5Result:
+             executor=None, store=None) -> Fig5Result:
     """Reproduce the Figure 5 scaling study with the simulated cluster.
 
     The calibration solves (one real resilient-CG run per method and
     error count) are independent, so they run through the same pluggable
     campaign executors as the Figure 4 sweep — pass
-    ``executor=make_executor('process')`` to fan them out.
+    ``executor=make_executor('process')`` to fan them out.  ``store``
+    (a :class:`~repro.campaign.store.CampaignStore`) caches each
+    calibration cell's measured iteration count by content address, so
+    warm re-runs skip the solves.
     """
     model = model or ClusterModel(target_points=target_points,
                                   calibration_points=calibration_points)
     results = model.run(core_counts=core_counts, error_counts=error_counts,
-                        executor=executor)
+                        executor=executor, store=store)
     return Fig5Result(results=results, model=model)
 
 

@@ -72,10 +72,29 @@ class TestCampaignSpec:
         trials = self.make_spec().expand()
         assert [t.index for t in trials] == list(range(len(trials)))
 
-    def test_expand_spawns_independent_seeds(self):
+    def test_expand_derives_independent_seeds(self):
         trials = self.make_spec().expand()
-        keys = {t.seed.spawn_key for t in trials}
-        assert len(keys) == len(trials)
+        entropies = {tuple(t.seed.entropy) for t in trials}
+        assert len(entropies) == len(trials)
+        # ... and the campaign seed is the leading entropy word, so two
+        # campaigns differing only in seed share no trial seed material.
+        assert all(tuple(t.seed.entropy)[0] == 7 for t in trials)
+
+    def test_trial_seeds_are_content_keyed(self):
+        """Growing the grid must not disturb pre-existing trials' seeds
+        (the property that makes the campaign store incremental)."""
+        base = self.make_spec().expand()
+        grown = self.make_spec(rates=(1.0, 5.0, 10.0)).expand()
+        base_by_cell = {(t.matrix.label, t.method, t.rate, t.repetition):
+                        tuple(t.seed.entropy) for t in base}
+        grown_by_cell = {(t.matrix.label, t.method, t.rate, t.repetition):
+                         tuple(t.seed.entropy) for t in grown}
+        for cell, entropy in base_by_cell.items():
+            assert grown_by_cell[cell] == entropy
+        # store keys follow suit: the old trials are a strict subset
+        base_keys = {t.store_key() for t in base}
+        grown_keys = {t.store_key() for t in grown}
+        assert base_keys < grown_keys
 
     def test_expand_is_deterministic(self):
         a = self.make_spec().expand()

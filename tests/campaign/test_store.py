@@ -1,0 +1,235 @@
+"""Content-addressed campaign store: cache correctness and maintenance.
+
+The store's acceptance bar is the byte-identity anchor: a cache hit must
+reproduce exactly what a cold computation would have produced — same
+trial records, same aggregates, same fingerprint — no matter which
+executor ran the cold pass.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.campaign.engine import clear_caches, run_campaign
+from repro.campaign.executors import ChunkedExecutor, SerialExecutor
+from repro.campaign.spec import CampaignSpec, MatrixSpec, SolverKnobs
+from repro.campaign.store import (STORE_SCHEMA_VERSION, CampaignStore,
+                                  StoreSchemaError, clear_store_cache,
+                                  default_store_root, open_store)
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        matrices=["laplacian2d:10"], methods=("FEIR", "Lossy"),
+        rates=(2.0, 20.0), repetitions=2, seed=99,
+        knobs=SolverKnobs(tolerance=1e-8, max_iterations=2000,
+                          num_workers=4, page_size=20),
+        name="tiny")
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    clear_store_cache()
+    yield
+    clear_caches()
+    clear_store_cache()
+
+
+class TestStoreBasics:
+    def test_creates_layout_and_schema(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        schema = json.loads((store.root / "SCHEMA").read_text())
+        assert schema["schema"] == STORE_SCHEMA_VERSION
+        for kind in ("trials", "baselines", "matrices", "scalars"):
+            assert (store.root / kind).is_dir()
+
+    def test_env_override_controls_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_STORE", str(tmp_path / "env"))
+        assert default_store_root() == tmp_path / "env"
+
+    def test_rejects_incompatible_schema(self, tmp_path):
+        root = tmp_path / "store"
+        CampaignStore(root)
+        (root / "SCHEMA").write_text('{"schema": 99}')
+        with pytest.raises(StoreSchemaError, match="schema v99"):
+            CampaignStore(root)
+
+    def test_rejects_unreadable_schema(self, tmp_path):
+        root = tmp_path / "store"
+        CampaignStore(root)
+        (root / "SCHEMA").write_text("not json")
+        with pytest.raises(StoreSchemaError, match="unreadable"):
+            CampaignStore(root)
+
+    def test_refuses_to_adopt_foreign_directory(self, tmp_path):
+        root = tmp_path / "not-a-store"
+        root.mkdir()
+        (root / "precious.txt").write_text("user data")
+        with pytest.raises(StoreSchemaError, match="refusing to adopt"):
+            CampaignStore(root)
+
+    def test_incompatible_artifact_fails_loudly(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = "ab" + "0" * 62
+        store._put_json("scalars", key, {"value": 1})
+        path = store._path("scalars", key)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreSchemaError, match="schema v0"):
+            store.get_scalar(key)
+
+    def test_corrupt_artifact_self_heals_as_miss(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = "cd" + "0" * 62
+        store._put_json("scalars", key, {"value": 1})
+        store._path("scalars", key).write_text("{torn")
+        assert store.get_scalar(key) is None
+        assert not store._path("scalars", key).exists()
+
+    def test_open_store_caches_per_root(self, tmp_path):
+        a = open_store(tmp_path / "store")
+        b = open_store(tmp_path / "store")
+        assert a is b
+
+
+class TestArtifactRoundTrips:
+    def test_baseline_roundtrip_is_bit_exact(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        value = 0.1 + 0.2  # a float with no short decimal representation
+        store.put_baseline("ee" + "0" * 62, value)
+        assert store.get_baseline("ee" + "0" * 62) == value
+
+    @pytest.mark.parametrize("text,sparse", [("laplacian2d:9", True),
+                                             ("qa8fm", False)])
+    def test_matrix_roundtrip_is_bit_exact(self, tmp_path, text, sparse):
+        store = CampaignStore(tmp_path / "store")
+        matrix = MatrixSpec.parse(text, sparse=sparse)
+        A, b = matrix.build()
+        store.put_matrix("aa" + "0" * 62, A, b)
+        A2, b2 = store.get_matrix("aa" + "0" * 62)
+        assert type(A2).__name__ == type(A).__name__
+        assert A2.shape == A.shape
+        assert np.array_equal(A2.data, A.data)
+        assert np.array_equal(A2.indices, A.indices)
+        assert np.array_equal(A2.indptr, A.indptr)
+        assert np.array_equal(b2, b)
+        assert b2.dtype == b.dtype
+
+    def test_missing_entries_are_none(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = "ff" + "0" * 62
+        assert store.get_trial(key) is None
+        assert store.get_baseline(key) is None
+        assert store.get_matrix(key) is None
+        assert store.get_scalar(key) is None
+
+
+class TestWarmCampaigns:
+    def test_warm_rerun_executes_zero_trials_same_fingerprint(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        cold = run_campaign(tiny_spec(), executor=SerialExecutor(),
+                            store=store)
+        assert cold.executed == tiny_spec().num_trials
+        assert cold.cache_hits == 0
+
+        clear_caches()
+        clear_store_cache()
+        warm = run_campaign(tiny_spec(), executor=SerialExecutor(),
+                            store=CampaignStore(tmp_path / "store"))
+        assert warm.executed == 0
+        assert warm.cache_hits == tiny_spec().num_trials
+        assert warm.fingerprint() == cold.fingerprint()
+        for a, b in zip(warm.sorted_trials(), cold.sorted_trials()):
+            assert a.solve_time == b.solve_time
+            assert a.iterations == b.iterations
+            assert a.final_residual == b.final_residual
+
+    def test_store_run_matches_storeless_run(self, tmp_path):
+        stored = run_campaign(tiny_spec(), executor=SerialExecutor(),
+                              store=CampaignStore(tmp_path / "store"))
+        clear_caches()
+        plain = run_campaign(tiny_spec(), executor=SerialExecutor())
+        assert stored.fingerprint() == plain.fingerprint()
+
+    def test_warm_hit_rate_survives_executor_swap(self, tmp_path):
+        """Trials cached by the serial executor satisfy a chunked run —
+        the store is executor-agnostic, like the fingerprints."""
+        store = CampaignStore(tmp_path / "store")
+        cold = run_campaign(tiny_spec(), executor=SerialExecutor(),
+                            store=store)
+        clear_caches()
+        clear_store_cache()
+        warm = run_campaign(
+            tiny_spec(), executor=ChunkedExecutor(max_workers=2,
+                                                  chunk_size=3),
+            store=CampaignStore(tmp_path / "store"))
+        assert warm.executed == 0
+        assert warm.fingerprint() == cold.fingerprint()
+
+    def test_grid_growth_only_executes_new_cells(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_spec(), executor=SerialExecutor(), store=store)
+        clear_caches()
+        clear_store_cache()
+        grown = run_campaign(tiny_spec(rates=(2.0, 5.0, 20.0)),
+                             executor=SerialExecutor(),
+                             store=CampaignStore(tmp_path / "store"))
+        assert grown.cache_hits == tiny_spec().num_trials
+        assert grown.executed == grown.total_trials - grown.cache_hits
+
+    def test_different_seed_misses_the_cache(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_spec(), executor=SerialExecutor(), store=store)
+        clear_caches()
+        clear_store_cache()
+        other = run_campaign(tiny_spec(seed=100), executor=SerialExecutor(),
+                             store=CampaignStore(tmp_path / "store"))
+        assert other.cache_hits == 0
+
+    def test_backend_knob_partitions_the_cache(self, tmp_path):
+        """The cross-backend bit-identity invariant is *checked*, never
+        assumed: a threaded-backend campaign must not be satisfied from
+        trials cached under the simulated backend."""
+        sim = tiny_spec().expand()[0]
+        thr = tiny_spec(knobs=SolverKnobs(
+            tolerance=1e-8, max_iterations=2000, num_workers=4,
+            page_size=20, backend="threaded")).expand()[0]
+        assert sim.store_key() != thr.store_key()
+
+
+class TestGc:
+    def test_gc_prunes_old_entries_keeps_fresh(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        run_campaign(tiny_spec(), executor=SerialExecutor(), store=store)
+        counts = store.entry_count()
+        assert counts["trials"] == tiny_spec().num_trials
+        # Nothing is older than 30 days: gc keeps everything.
+        removed, kept = store.gc(days=30)
+        assert removed == 0 and kept > 0
+        # Pretend a month passes: everything is unreferenced and pruned.
+        removed, kept = store.gc(days=30,
+                                 now=time.time() + 31 * 86400.0)
+        assert kept == 0
+        assert removed == sum(counts.values())
+        assert store.entry_count()["trials"] == 0
+
+    def test_reads_refresh_entry_age(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.put_scalar("aa" + "0" * 62, 7)
+        path = store._path("scalars", "aa" + "0" * 62)
+        old = time.time() - 40 * 86400.0
+        os.utime(path, (old, old))
+        assert store.get_scalar("aa" + "0" * 62) == 7  # touches mtime
+        removed, kept = store.gc(days=30)
+        assert removed == 0 and kept == 1
+
+    def test_gc_rejects_negative_age(self, tmp_path):
+        with pytest.raises(ValueError):
+            CampaignStore(tmp_path / "store").gc(days=-1)
