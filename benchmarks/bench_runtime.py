@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Runtime-cell benchmark: per-iteration solver wall time per cell.
+
+Solves one fixed resilient-CG problem in every interesting
+(scheduler x placement x clock) cell of the unified runtime
+(:mod:`repro.runtime.runtime`) and reports the real wall seconds per
+iteration of each, plus the rank-scaling efficiency of the ranks
+placement (1-rank time / (N x N-rank time)).  Every cell's iterates are
+asserted bit-identical to the reference cell, so the bench doubles as
+an end-to-end invariant check.
+
+Emits ``BENCH_runtime.json``; CI uploads it as an artifact::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py --quick
+    PYTHONPATH=src python benchmarks/bench_runtime.py --out BENCH_runtime.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.manager import make_strategy
+from repro.faults.injector import Injection
+from repro.faults.scenarios import multi_error_scenario
+from repro.matrices.stencil import poisson_3d_27pt, stencil_rhs
+from repro.solvers.resilient_cg import ResilientCG, SolverConfig
+
+BENCH_SCHEMA = 1
+
+#: The benchmarked cells: label -> (scheduler, placement, clock, ranks).
+CELLS = {
+    "list/local/simulated": ("list", "local", "simulated", 1),
+    "list/local/wall": ("list", "local", "wall", 1),
+    "threaded/local/wall": ("threaded", "local", "wall", 1),
+    "list/ranks2/simulated": ("list", "ranks", "simulated", 2),
+    "list/ranks4/simulated": ("list", "ranks", "simulated", 4),
+    "threaded/ranks2/wall": ("threaded", "ranks", "wall", 2),
+    "threaded/ranks4/wall": ("threaded", "ranks", "wall", 4),
+}
+
+
+def bench_problem(quick: bool):
+    points = 8 if quick else 12
+    A = poisson_3d_27pt(points)
+    b = stencil_rhs(A, kind="random", seed=7)
+    return A, b, points
+
+
+def run_cell(A, b, cell, page_size: int, tolerance: float):
+    scheduler, placement, clock, ranks = cell
+    num_pages = max(1, A.shape[0] // page_size)
+    strategy = make_strategy("AFEIR")
+    scenario = multi_error_scenario(
+        [Injection(time=1e-4, vector="x", page=num_pages // 2)],
+        name="bench-runtime")
+    cfg = SolverConfig(page_size=page_size, tolerance=tolerance,
+                       record_history=False, pace=0.0,
+                       scheduler=scheduler, placement=placement,
+                       clock=clock, ranks=ranks)
+    started = time.perf_counter()
+    with ResilientCG(A, b, strategy=strategy, scenario=scenario,
+                     config=cfg) as solver:
+        result = solver.solve()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the runtime cells' per-iteration wall time.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller problem (8^3 instead of 12^3)")
+    parser.add_argument("--out", default="BENCH_runtime.json",
+                        metavar="FILE", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    A, b, points = bench_problem(args.quick)
+    page_size = 64
+    tolerance = 1e-8
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "kind": "runtime-cell-bench",
+        "quick": args.quick,
+        "problem": {"stencil": "poisson3d27", "points": points,
+                    "n": int(A.shape[0]), "page_size": page_size,
+                    "tolerance": tolerance, "method": "AFEIR"},
+        "host": {"python": platform.python_version(),
+                 "cpus": os.cpu_count()},
+        "cells": {},
+    }
+
+    reference = None
+    rank_seconds = {}
+    for label, cell in CELLS.items():
+        result, elapsed = run_cell(A, b, cell, page_size, tolerance)
+        iters = result.record.iterations
+        key = (result.x.tobytes(), iters, result.record.solve_time)
+        if reference is None:
+            reference = key
+        elif key != reference:
+            raise SystemExit(f"{label}: results diverged from the reference "
+                             f"cell — the runtime invariant is broken")
+        scheduler, placement, clock, ranks = cell
+        payload["cells"][label] = {
+            "scheduler": scheduler, "placement": placement,
+            "clock": clock, "ranks": ranks,
+            "iterations": iters,
+            "wall_seconds": round(elapsed, 4),
+            "wall_seconds_per_iteration": round(elapsed / iters, 6),
+            "measured_reenactment_seconds": round(result.wall_clock, 4),
+            "halo_overlapped_recoveries": (result.window_summary or {}).get(
+                "halo_overlapped_recoveries", 0),
+        }
+        if placement == "ranks" and clock == "simulated":
+            rank_seconds[ranks] = elapsed
+        print(f"{label:24s} {elapsed:7.3f} s   "
+              f"{1e3 * elapsed / iters:8.3f} ms/iter   {iters} iters")
+
+    base = run_cell(A, b, ("list", "ranks", "simulated", 1),
+                    page_size, tolerance)[1]
+    payload["rank_scaling"] = {
+        str(r): {"seconds": round(s, 4),
+                 "efficiency": round(base / (r * s), 3)}
+        for r, s in sorted(rank_seconds.items())}
+    for r, row in payload["rank_scaling"].items():
+        print(f"ranks={r}: {row['seconds']} s, "
+              f"efficiency {row['efficiency']}")
+
+    Path(args.out).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

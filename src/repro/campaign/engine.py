@@ -56,7 +56,10 @@ def _solver_config(knobs: SolverKnobs):
                         record_history=knobs.record_history,
                         backend=knobs.backend,
                         pace=knobs.pace,
-                        ranks=knobs.ranks)
+                        ranks=knobs.ranks,
+                        scheduler=knobs.scheduler,
+                        placement=knobs.placement,
+                        clock=knobs.clock)
 
 
 def _problem(matrix: MatrixSpec,

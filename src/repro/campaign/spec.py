@@ -29,6 +29,7 @@ from repro.config import (DEFAULT_MAX_ITERATIONS, DEFAULT_SEED,
 from repro.faults.scenarios import ErrorScenario
 from repro.runtime.backend import BACKEND_NAMES
 from repro.runtime.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.runtime.runtime import resolve_runtime_spec
 
 def _operator_to_scipy(A):
     """SciPy CSR view of a SparseOperator (``sparse=False`` on a family
@@ -207,48 +208,66 @@ class SolverKnobs:
     checkpoint_interval: Optional[int] = None
     record_history: bool = False
     cost_model: CostModel = DEFAULT_COST_MODEL
-    #: Execution backend of every trial: ``"simulated"`` times the task
-    #: graphs, ``"threaded"`` additionally executes them on real worker
-    #: threads.  The simulated timeline (and hence every aggregate and
-    #: the campaign fingerprint) is bit-identical either way.
+    #: Deprecated alias for the (scheduler, clock) runtime axes:
+    #: ``"simulated"`` -> (list, simulated), ``"threaded"`` ->
+    #: (threaded, wall).  The simulated timeline (and hence every
+    #: aggregate and the campaign fingerprint) is bit-identical in every
+    #: runtime cell.
     backend: str = "simulated"
-    #: Wall-clock pacing of the threaded backend (see ``SolverConfig``).
+    #: Wall-clock pacing of the threaded scheduler (see ``SolverConfig``).
     pace: float = 1.0
     #: Rank-parallel kernel execution inside each trial
     #: (``SolverConfig.ranks``); the reproducible reductions keep every
     #: aggregate and the campaign fingerprint bit-identical to 1 rank.
     ranks: int = 1
+    #: Explicit runtime axes (``SolverConfig.scheduler`` / ``placement``
+    #: / ``clock``); ``None`` defers to the ``backend``/``ranks`` aliases.
+    scheduler: Optional[str] = None
+    placement: Optional[str] = None
+    clock: Optional[str] = None
 
     def __post_init__(self):
         if self.backend not in BACKEND_NAMES:
             raise ValueError(f"unknown execution backend {self.backend!r}; "
                              f"known backends: {', '.join(BACKEND_NAMES)}")
-        if self.ranks < 1:
-            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
-        if self.ranks > 1 and self.backend != "simulated":
-            raise ValueError(
-                f"ranks={self.ranks} requires the 'simulated' backend; the "
-                f"rank runtime owns the real kernel execution")
+        self.runtime_spec()  # validates the axis composition loudly
+
+    def runtime_spec(self):
+        """The resolved (scheduler x placement x clock) cell of every trial."""
+        return resolve_runtime_spec(backend=self.backend,
+                                    scheduler=self.scheduler,
+                                    placement=self.placement,
+                                    clock=self.clock, ranks=self.ranks)
 
     def content_token(self) -> str:
         """Canonical token over every knob.
 
         Conservative by design: knobs that are *proven* not to change
-        results (``backend``, ``ranks`` — the bit-identical invariants)
-        still participate, so the store can never paper over a broken
-        invariant by serving a trial cached under the other backend.
+        results (the runtime cell — the bit-identical invariant) still
+        participate, so the store can never paper over a broken
+        invariant by serving a trial cached under another cell.  The
+        runtime portion is emitted through the resolved spec's legacy
+        backend alias, so every previously expressible cell keeps its
+        store address byte-for-byte; only the genuinely new cell
+        (``placement='ranks'`` with ``ranks=1``) gains an extra
+        ``placement=`` token.
         """
         cost = ",".join(
             f"{f.name}={getattr(self.cost_model, f.name)!r}"
             for f in dataclasses.fields(self.cost_model))
+        spec = self.runtime_spec()
+        placement_token = ("placement=ranks/"
+                           if (spec.placement == "ranks" and spec.ranks == 1)
+                           else "")
         return (f"knobs/tol={self.tolerance!r}/maxit={self.max_iterations}/"
                 f"workers={self.num_workers}/page={self.page_size}/"
                 f"scale={self.work_scale!r}/"
                 f"precond={int(self.preconditioned)}/"
                 f"ckpt={self.checkpoint_interval}/"
                 f"history={int(self.record_history)}/"
-                f"backend={self.backend}/pace={self.pace!r}/"
-                f"ranks={self.ranks}/cost[{cost}]")
+                f"backend={spec.backend_alias()}/pace={self.pace!r}/"
+                f"{placement_token}"
+                f"ranks={spec.ranks}/cost[{cost}]")
 
 
 @dataclass(frozen=True)

@@ -72,6 +72,11 @@ class RankCommStats:
     recoveries: int = 0
     recovery_seconds: float = 0.0
     recoveries_by_rank: Dict[int, int] = field(default_factory=dict)
+    #: Probe-grade halo exchanges re-enacted for the wall-clock
+    #: measurement (:meth:`RankRuntime.halo_exchange`).  Counted apart
+    #: from the load-bearing ``halo_exchanges`` so per-exchange averages
+    #: keep meaning "one distributed spmv".
+    probe_exchanges: int = 0
     #: ``(payload_bytes, seconds)`` of individual point-to-point *halo*
     #: transfers, the raw material of the comm-model calibration.
     #: Allreduce waits are excluded on purpose: they include subtree
@@ -98,6 +103,7 @@ class RankCommStats:
             "allreduce_bytes": self.allreduce_bytes,
             "recoveries": self.recoveries,
             "recoveries_by_rank": dict(self.recoveries_by_rank),
+            "probe_exchanges": self.probe_exchanges,
         }
 
 
@@ -143,7 +149,16 @@ class RankRuntime:
         self.partition = StripPartition(blocked.A, self.num_ranks,
                                         align=self.page_size)
         self.stats = RankCommStats(ranks=self.num_ranks)
-        self._replies: "queue.Queue" = queue.Queue()
+        #: Per-op reply queues keyed by sequence number, so concurrent
+        #: orchestrator calls (the threaded scheduler dispatches halo
+        #: re-enactments and owner probes from different backend worker
+        #: threads) never consume each other's replies.
+        self._pending: Dict[int, "queue.Queue"] = {}
+        self._post_lock = threading.Lock()
+        #: Serialises collectives: the per-pair channels pair sends with
+        #: receives positionally, so two collectives must never be in
+        #: flight at once.
+        self._collective_lock = threading.Lock()
         self._chan: Dict[Tuple[int, int], "queue.Queue"] = {
             (src, dst): queue.Queue()
             for src in range(self.num_ranks)
@@ -190,35 +205,49 @@ class RankRuntime:
     # orchestration
     # ------------------------------------------------------------------
     def _post(self, ranks: List[int], op: str, payload) -> Dict[int, object]:
+        """Post one op to ``ranks`` and gather their replies.
+
+        Thread-safe for concurrent callers: each op gets a private reply
+        queue keyed by its sequence number, and workers route replies by
+        that key, so the threaded scheduler can dispatch an owner probe
+        while a halo re-enactment collective is still in flight.
+        """
         if self._closed:
             raise RankRuntimeError("rank runtime already closed")
-        self._seq += 1
-        for r in ranks:
-            self._states[r].inbox.put((op, self._seq, payload))
-        replies: Dict[int, object] = {}
-        failure: Optional[BaseException] = None
-        deadline = perf_counter() + self.timeout
-        while len(replies) < len(ranks):
-            remaining = deadline - perf_counter()
-            try:
-                seq, rank, result, exc = self._replies.get(
-                    timeout=max(remaining, 1e-3))
-            except queue.Empty:
-                raise RankRuntimeError(
-                    f"rank runtime timed out after {self.timeout}s waiting "
-                    f"for op {op!r} (ranks {ranks})") from None
-            if seq != self._seq:        # stale reply from a failed op
-                continue                # (does not count towards this one)
-            if exc is not None and failure is None:
-                failure = exc
-            replies[rank] = result
+        with self._post_lock:
+            self._seq += 1
+            seq = self._seq
+            reply_queue: "queue.Queue" = queue.Queue()
+            self._pending[seq] = reply_queue
+        try:
+            for r in ranks:
+                self._states[r].inbox.put((op, seq, payload))
+            replies: Dict[int, object] = {}
+            failure: Optional[BaseException] = None
+            deadline = perf_counter() + self.timeout
+            while len(replies) < len(ranks):
+                remaining = deadline - perf_counter()
+                try:
+                    rank, result, exc = reply_queue.get(
+                        timeout=max(remaining, 1e-3))
+                except queue.Empty:
+                    raise RankRuntimeError(
+                        f"rank runtime timed out after {self.timeout}s "
+                        f"waiting for op {op!r} (ranks {ranks})") from None
+                if exc is not None and failure is None:
+                    failure = exc
+                replies[rank] = result
+        finally:
+            with self._post_lock:
+                self._pending.pop(seq, None)
         if failure is not None:
             raise RankRuntimeError(
                 f"rank worker failed during op {op!r}") from failure
         return replies
 
     def _collective(self, op: str, payload) -> Dict[int, object]:
-        return self._post(list(range(self.num_ranks)), op, payload)
+        with self._collective_lock:
+            return self._post(list(range(self.num_ranks)), op, payload)
 
     # ------------------------------------------------------------------
     # public kernel operations
@@ -248,6 +277,31 @@ class RankRuntime:
         self.stats.allreduce_bytes += sum(r["bytes_sent"]
                                           for r in replies.values())
         return replies[0]["value"]
+
+    def halo_exchange(self, d: np.ndarray) -> float:
+        """Re-enact the halo exchange of ``d`` (read-only, bitwise
+        neutral): every rank really sends and receives its halo of the
+        current search direction over the rank channels, refreshing the
+        same ``d_buf`` entries the preceding distributed spmv filled
+        with the same values.  Used by the wall-clock re-enactment so
+        the exchange has a measurable interval recovery can overlap;
+        counted as a probe, not as a load-bearing exchange.  Returns the
+        critical-path window in seconds.
+        """
+        replies = self._collective("halo", d)
+        windows = [r["window"] for r in replies.values()]
+        self.stats.probe_exchanges += 1
+        for r in replies.values():
+            self.stats.message_samples.extend(r["samples"])
+        return max(windows) if windows else 0.0
+
+    def run_on_rank(self, rank: int, fn: Callable[[], object]) -> object:
+        """Execute ``fn`` on a specific rank's worker without recovery
+        accounting (probe work of the wall-clock re-enactment)."""
+        if not 0 <= rank < self.num_ranks:
+            raise IndexError(f"rank {rank} out of range for "
+                             f"{self.num_ranks} ranks")
+        return self._post([rank], "run", fn)[rank]["value"]
 
     def run_on_owner(self, page: int, fn: Callable[[], object]) -> object:
         """Execute ``fn`` on the worker owning ``page`` (recovery work)."""
@@ -286,9 +340,15 @@ class RankRuntime:
             op, seq, payload = msg
             try:
                 result = self._dispatch(rank, op, payload)
-                self._replies.put((seq, rank, result, None))
+                self._reply(seq, rank, result, None)
             except BaseException as exc:       # surfaced by _post
-                self._replies.put((seq, rank, None, exc))
+                self._reply(seq, rank, None, exc)
+
+    def _reply(self, seq: int, rank: int, result, exc) -> None:
+        with self._post_lock:
+            reply_queue = self._pending.get(seq)
+        if reply_queue is not None:    # dropped if the op already timed out
+            reply_queue.put((rank, result, exc))
 
     def _dispatch(self, rank: int, op: str, payload):
         if op == "strip":
@@ -299,6 +359,8 @@ class RankRuntime:
             return self._spmv_local(rank, *payload)
         if op == "dot":
             return self._dot_local(rank, *payload)
+        if op == "halo":
+            return self._halo_local(rank, payload)
         if op == "run":
             t0 = perf_counter()
             value = payload()
@@ -313,7 +375,12 @@ class RankRuntime:
                 f"rank {dst} timed out waiting for a message from rank "
                 f"{src} after {self.timeout}s") from None
 
-    def _spmv_local(self, rank: int, d: np.ndarray, out: np.ndarray):
+    def _halo_local(self, rank: int, d: np.ndarray):
+        """One rank's leg of the halo exchange of ``d``: send owned
+        entries the neighbours reference, receive this rank's halo into
+        ``d_buf``.  Shared by the load-bearing spmv and the probe-grade
+        :meth:`halo_exchange` re-enactment (same values either way, so
+        the probe is bitwise neutral)."""
         st = self._states[rank]
         samples: List[Tuple[float, float]] = []
         bytes_sent = 0
@@ -331,9 +398,14 @@ class RankRuntime:
         window = perf_counter() - t0
         # Own strip is local memory, copied outside the exchange window.
         st.d_buf[st.start:st.stop] = d[st.start:st.stop]
-        out[st.start:st.stop] = st.slab_matvec(st.d_buf)
         return {"window": window, "bytes_sent": bytes_sent,
                 "samples": samples}
+
+    def _spmv_local(self, rank: int, d: np.ndarray, out: np.ndarray):
+        st = self._states[rank]
+        result = self._halo_local(rank, d)
+        out[st.start:st.stop] = st.slab_matvec(st.d_buf)
+        return result
 
     def _dot_local(self, rank: int, u: np.ndarray, v: np.ndarray,
                    skip_pages: frozenset):
@@ -439,6 +511,15 @@ class RankKernelEngine(KernelEngine):
 
     def run_on_owner(self, page: int, fn: Callable[[], object]) -> object:
         return self.runtime.run_on_owner(page, fn)
+
+    def page_owner(self, page: int) -> int:
+        return self.runtime.page_owner(page)
+
+    def run_on_rank(self, rank: int, fn: Callable[[], object]) -> object:
+        return self.runtime.run_on_rank(rank, fn)
+
+    def halo_exchange(self, d: np.ndarray) -> float:
+        return self.runtime.halo_exchange(d)
 
     # ------------------------------------------------------------------
     def comm_stats(self) -> RankCommStats:

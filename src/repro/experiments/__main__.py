@@ -17,6 +17,8 @@ import sys
 
 from repro.experiments.common import ExperimentConfig
 from repro.runtime.backend import BACKEND_NAMES
+from repro.runtime.runtime import (CLOCK_NAMES, PLACEMENT_NAMES,
+                                   SCHEDULER_NAMES)
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.fig4 import format_fig4, run_fig4
 from repro.experiments.fig5 import (format_fig5, format_fig5_measured,
@@ -30,17 +32,21 @@ EXPERIMENTS = ("table2", "table3", "fig3", "fig4", "fig5")
 
 
 def make_config(quick: bool, backend: str = "simulated",
-                ranks: int = 1) -> ExperimentConfig:
+                ranks: int = 1, scheduler=None, placement=None,
+                clock=None) -> ExperimentConfig:
+    axes = dict(backend=backend, ranks=ranks, scheduler=scheduler,
+                placement=placement, clock=clock)
     if quick:
         return ExperimentConfig(matrices=QUICK_MATRICES, repetitions=1,
-                                max_iterations=6000, tolerance=1e-9,
-                                backend=backend, ranks=ranks)
-    return ExperimentConfig(repetitions=2, backend=backend, ranks=ranks)
+                                max_iterations=6000, tolerance=1e-9, **axes)
+    return ExperimentConfig(repetitions=2, **axes)
 
 
 def run_one(name: str, quick: bool, backend: str = "simulated",
-            ranks: int = 1, measured: bool = False, store=None) -> str:
-    config = make_config(quick, backend, ranks)
+            ranks: int = 1, measured: bool = False, store=None,
+            scheduler=None, placement=None, clock=None) -> str:
+    config = make_config(quick, backend, ranks, scheduler=scheduler,
+                         placement=placement, clock=clock)
     if name == "table2":
         return format_table2(run_table2(config))
     if name == "table3":
@@ -74,16 +80,27 @@ def main(argv=None) -> int:
                         help="use the reduced matrix/rate grid")
     parser.add_argument("--backend", choices=BACKEND_NAMES,
                         default="simulated",
-                        help="execution backend of the solver-driven "
-                             "experiments (table2, table3, fig3, fig4); "
-                             "'threaded' additionally reports measured "
-                             "wall-clock overheads.  fig5 is the analytic "
-                             "cluster model and runs no solver, so the "
-                             "flag does not apply to it")
+                        help="deprecated alias for the runtime axes of the "
+                             "solver-driven experiments: 'simulated' = "
+                             "--scheduler list --clock simulated, "
+                             "'threaded' = --scheduler threaded --clock "
+                             "wall; explicit axes win.  fig5's analytic "
+                             "projection runs no solver, so the alias does "
+                             "not apply to it")
     parser.add_argument("--ranks", type=int, default=1,
                         help="rank-parallel kernel execution inside every "
                              "solver (strip partition, real halo exchange, "
-                             "tree allreduce); bit-identical to --ranks 1")
+                             "tree allreduce); bit-identical to --ranks 1 "
+                             "(>1 implies --placement ranks)")
+    parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None,
+                        help="runtime scheduler axis: 'list' (discrete-"
+                             "event only) or 'threaded' (graphs also "
+                             "execute on real threads)")
+    parser.add_argument("--placement", choices=PLACEMENT_NAMES, default=None,
+                        help="runtime placement axis: 'local' or 'ranks'")
+    parser.add_argument("--clock", choices=CLOCK_NAMES, default=None,
+                        help="runtime clock axis: 'simulated' or 'wall' "
+                             "(measure real wall intervals)")
     parser.add_argument("--measured", action="store_true",
                         help="fig5 only: additionally run the measured "
                              "mini-Figure-5 — a small problem really "
@@ -118,7 +135,9 @@ def main(argv=None) -> int:
     for name in targets:
         print(f"\n=== {name} ===")
         print(run_one(name, args.quick, args.backend,
-                      ranks=args.ranks, measured=args.measured, store=store))
+                      ranks=args.ranks, measured=args.measured, store=store,
+                      scheduler=args.scheduler, placement=args.placement,
+                      clock=args.clock))
     if store is not None:
         print(f"\n{store.stats_line()}")
     return 0

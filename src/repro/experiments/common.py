@@ -44,18 +44,23 @@ class ExperimentConfig:
     repetitions: int = 2
     preconditioned: bool = False
     checkpoint_interval: Optional[int] = None
-    #: Execution backend for every solver of the experiment.  With
-    #: ``"threaded"`` the drivers additionally report *measured*
+    #: Deprecated alias for the runtime's (scheduler, clock) axes:
+    #: ``"threaded"`` makes the drivers additionally report *measured*
     #: wall-clock overheads next to the simulated ones; the simulated
-    #: numbers themselves are backend-independent.
+    #: numbers themselves are identical in every runtime cell.
     backend: str = "simulated"
-    #: Wall-clock pacing of the threaded backend (see ``SolverConfig``).
+    #: Wall-clock pacing of the threaded scheduler (see ``SolverConfig``).
     pace: float = 1.0
     #: Rank-parallel kernel execution (``SolverConfig.ranks``): with
     #: ``ranks > 1`` every solver of the experiment strip-partitions its
     #: kernels over that many rank workers with real halo exchange and
     #: tree allreduces.  Results are bit-identical to ``ranks=1``.
     ranks: int = 1
+    #: Explicit runtime axes (``SolverConfig.scheduler`` / ``placement``
+    #: / ``clock``); ``None`` defers to the ``backend``/``ranks`` aliases.
+    scheduler: Optional[str] = None
+    placement: Optional[str] = None
+    clock: Optional[str] = None
 
     def solver_config(self) -> SolverConfig:
         return SolverConfig(tolerance=self.tolerance,
@@ -67,7 +72,10 @@ class ExperimentConfig:
                             record_history=True,
                             backend=self.backend,
                             pace=self.pace,
-                            ranks=self.ranks)
+                            ranks=self.ranks,
+                            scheduler=self.scheduler,
+                            placement=self.placement,
+                            clock=self.clock)
 
 
 @dataclass

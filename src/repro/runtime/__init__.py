@@ -7,37 +7,47 @@ be placed either in the critical path (FEIR) or overlapped with the
 reduction tasks (AFEIR, Figure 2) and that this changes load imbalance
 and overhead — are claims about *task scheduling*.
 
-Two execution backends realise those claims behind one protocol
-(:class:`~repro.runtime.backend.ExecutionBackend`):
+The runtime is one composition of three orthogonal axes
+(:mod:`repro.runtime.runtime`), built with :func:`make_runtime`:
 
-* ``simulated`` — a deterministic discrete-event simulator of a work-
-  conserving priority list scheduler over ``P`` workers.  Task durations
-  come from a calibrated :class:`~repro.runtime.cost_model.CostModel`
-  (flops, memory traffic, per-task runtime overhead), and the simulator
-  produces the observable quantities the paper reports: makespan, and
-  the per-state time breakdown (useful / runtime / idle) of Table 3.
-* ``threaded`` (:mod:`repro.runtime.async_exec`) — the same graphs
-  additionally *execute for real* on a pool of worker threads with
-  dependency tracking, priority dispatch and per-page locks, measuring
-  wall-clock overlap and AFEIR's vulnerable window directly.
+* **scheduler** — how iteration task graphs run: ``"list"`` is the
+  deterministic discrete-event priority list scheduler over ``P``
+  workers with durations from a calibrated
+  :class:`~repro.runtime.cost_model.CostModel`; ``"threaded"``
+  (:mod:`repro.runtime.async_exec`) additionally executes every graph
+  for real on a dependency-tracked priority thread pool with per-page
+  locks.
+* **placement** — where the numerical kernels run: ``"local"`` is the
+  single-address-space NumPy engine
+  (:class:`~repro.runtime.kernels.LocalKernelEngine`); ``"ranks"``
+  strip-partitions every kernel over N rank workers with real halo
+  exchange and tree allreduces
+  (:class:`~repro.distributed.ranks.RankKernelEngine`).
+* **clock** — which timeline is reported: ``"simulated"`` only the
+  discrete-event timeline (makespans, Table 3 state breakdowns);
+  ``"wall"`` additionally measured wall intervals of the re-enacted
+  execution (task overlap, vulnerable windows).
 
-A second, orthogonal protocol decides *where the numerical kernels
-execute* (:class:`~repro.runtime.kernels.KernelEngine`): in this address
-space (:class:`~repro.runtime.kernels.LocalKernelEngine`) or strip-
-partitioned over rank workers with real halo exchange and tree
-allreduces (:class:`~repro.distributed.ranks.RankKernelEngine`).  Every
-engine reduces dot products in fixed page order
-(:func:`~repro.runtime.kernels.paged_dot`), so results are bit-identical
-across engines and rank counts.
+The simulated timeline is authoritative for every clock-dependent
+decision in all cells, and every engine reduces dot products in fixed
+page order (:func:`~repro.runtime.kernels.paged_dot`), so each
+(scheduler x placement x clock) cell produces bit-identical results.
+``backend="simulated"``/``"threaded"`` remain as deprecated aliases for
+the (scheduler, clock) pairs in
+:data:`~repro.runtime.backend.BACKEND_ALIASES`.
 """
 
-from repro.runtime.backend import (BACKEND_NAMES, ExecutionBackend,
-                                   ExecutionResult, SimulatedBackend,
-                                   WallInterval, make_backend)
+from repro.runtime.backend import (BACKEND_ALIASES, BACKEND_NAMES,
+                                   ExecutionBackend, ExecutionResult,
+                                   SimulatedBackend, WallInterval,
+                                   make_backend)
 from repro.runtime.async_exec import (PageLockTable, ThreadedBackend,
                                       VulnerableWindowMonitor)
 from repro.runtime.kernels import (KernelEngine, LocalKernelEngine,
                                    make_kernel_engine, paged_dot)
+from repro.runtime.runtime import (CLOCK_NAMES, PLACEMENT_NAMES, Runtime,
+                                   RuntimeSpec, SCHEDULER_NAMES,
+                                   make_runtime, resolve_runtime_spec)
 from repro.runtime.cost_model import CostModel
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ListScheduler, ScheduleResult
@@ -45,7 +55,9 @@ from repro.runtime.task import Task, TaskKind
 from repro.runtime.trace import ExecutionTrace, StateBreakdown
 
 __all__ = [
+    "BACKEND_ALIASES",
     "BACKEND_NAMES",
+    "CLOCK_NAMES",
     "CostModel",
     "ExecutionBackend",
     "ExecutionResult",
@@ -53,7 +65,11 @@ __all__ = [
     "KernelEngine",
     "ListScheduler",
     "LocalKernelEngine",
+    "PLACEMENT_NAMES",
     "PageLockTable",
+    "Runtime",
+    "RuntimeSpec",
+    "SCHEDULER_NAMES",
     "ScheduleResult",
     "SimulatedBackend",
     "StateBreakdown",
@@ -65,5 +81,7 @@ __all__ = [
     "WallInterval",
     "make_backend",
     "make_kernel_engine",
+    "make_runtime",
     "paged_dot",
+    "resolve_runtime_spec",
 ]

@@ -109,6 +109,10 @@ class MonitorSummary:
     recovery_scans: int = 0
     pages_seen_by_scans: int = 0
     overlapped_recoveries: int = 0
+    #: Recovery tasks whose measured interval overlapped the re-enacted
+    #: halo exchange of the ranks placement (0 without a halo task, and
+    #: structurally 0 for FEIR, whose recovery barriers the reduction).
+    halo_overlapped_recoveries: int = 0
     windows: int = 0
     total_window: float = 0.0
     dues_observed: int = 0
@@ -129,6 +133,7 @@ class MonitorSummary:
             "recovery_scans": self.recovery_scans,
             "pages_seen_by_scans": self.pages_seen_by_scans,
             "overlapped_recoveries": self.overlapped_recoveries,
+            "halo_overlapped_recoveries": self.halo_overlapped_recoveries,
             "windows": self.windows,
             "total_window": self.total_window,
             "mean_window": self.mean_window,
@@ -190,12 +195,14 @@ class VulnerableWindowMonitor:
         window of every (recovery task, dependent scalar) pair."""
         with self._lock:
             self._summary.runs += 1
-        if not result.executed_real:
+        if not result.wall_intervals:
             return
         overlaps = result.recovery_overlaps()
-        if overlaps:
+        halo_overlaps = result.recovery_halo_overlaps()
+        if overlaps or halo_overlaps:
             with self._lock:
                 self._summary.overlapped_recoveries += overlaps
+                self._summary.halo_overlapped_recoveries += halo_overlaps
         for recovery_name, scalar_name in pairs:
             rec = result.wall_intervals.get(recovery_name)
             scal = result.wall_intervals.get(scalar_name)
@@ -213,6 +220,11 @@ class VulnerableWindowMonitor:
     def overlapped_recoveries(self) -> int:
         with self._lock:
             return self._summary.overlapped_recoveries
+
+    @property
+    def halo_overlapped_recoveries(self) -> int:
+        with self._lock:
+            return self._summary.halo_overlapped_recoveries
 
     def summary(self) -> Dict[str, object]:
         with self._lock:

@@ -23,6 +23,7 @@ the vulnerable-window monitor and the overhead reports.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -32,8 +33,18 @@ from repro.runtime.scheduler import ListScheduler, ScheduleResult
 from repro.runtime.task import TaskKind
 from repro.runtime.trace import StateBreakdown
 
-#: Backend names understood by :func:`make_backend`.
-BACKEND_NAMES = ("simulated", "threaded")
+#: Legacy backend names and the (scheduler, clock) composition each one
+#: resolves to in the unified runtime (:mod:`repro.runtime.runtime`).
+#: ``backend=`` is kept as a deprecated alias for these compositions so
+#: existing configs and stored campaign keys keep working.
+BACKEND_ALIASES = {
+    "simulated": ("list", "simulated"),
+    "threaded": ("threaded", "wall"),
+}
+
+#: Backend names understood by :func:`make_backend` — derived from the
+#: registered alias compositions, not hand-kept.
+BACKEND_NAMES = tuple(sorted(BACKEND_ALIASES))
 
 
 @dataclass(frozen=True)
@@ -120,7 +131,7 @@ class ExecutionResult:
         """Recovery tasks whose wall interval overlapped a non-recovery
         task's interval on a different worker thread — the direct
         observation that recovery really ran off the critical path."""
-        if not self.executed_real:
+        if not self.wall_intervals:
             return 0
         recovery: List[Tuple[str, WallInterval]] = []
         others: List[WallInterval] = []
@@ -133,6 +144,23 @@ class ExecutionResult:
         for _, rec in recovery:
             if any(rec.overlaps(o) and o.worker != rec.worker
                    for o in others):
+                count += 1
+        return count
+
+    def recovery_halo_overlaps(self) -> int:
+        """Recovery tasks whose measured wall interval overlapped a
+        communication task's interval (the re-enacted halo exchange of
+        the ranks placement) — the paper's asynchrony claim at
+        distributed scale, observed directly."""
+        comm = [interval for name, interval in self.wall_intervals.items()
+                if self.kinds.get(name) is TaskKind.COMMUNICATION]
+        if not comm:
+            return 0
+        count = 0
+        for name, interval in self.wall_intervals.items():
+            if self.kinds.get(name) is not TaskKind.RECOVERY:
+                continue
+            if any(interval.overlaps(c) for c in comm):
                 count += 1
         return count
 
@@ -191,6 +219,14 @@ class ExecutionBackend(abc.ABC):
             ) -> ExecutionResult:
         """Schedule the graph and execute its task actions."""
 
+    def execute(self, graph: TaskGraph) -> ExecutionResult:
+        """Execute the graph's actions without re-deriving its simulated
+        timeline (``result.schedule`` is ``None``); measured wall
+        intervals are still recorded.  Subclasses must implement this to
+        participate in the unified runtime's wall clock."""
+        raise NotImplementedError(f"backend {self.name!r} cannot execute "
+                                  f"without a schedule")
+
     def close(self) -> None:
         """Release any real resources (worker threads); idempotent."""
 
@@ -225,6 +261,37 @@ class SimulatedBackend(ExecutionBackend):
         return ExecutionResult(schedule=schedule, backend=self.name,
                                executed_real=False,
                                values=dict(schedule.values),
+                               kinds={t.name: t.kind for t in graph.tasks})
+
+    def execute(self, graph: TaskGraph) -> ExecutionResult:
+        """Serial measured replay (the ``list`` scheduler's ``wall`` clock).
+
+        Actions run back-to-back in the scheduler's launch order on the
+        calling thread, each with a measured wall interval on worker 0.
+        Nothing overlaps by construction — this is the serialised
+        baseline the threaded scheduler's measured overlap is compared
+        against.  The extra list schedule derives the launch order only;
+        its timing is discarded (``result.schedule`` stays ``None``).
+        """
+        graph.validate()
+        order = self.simulate(graph).order_started()
+        tasks = {t.name: t for t in graph.tasks}
+        intervals: Dict[str, WallInterval] = {}
+        values: Dict[str, object] = {}
+        t0 = time.perf_counter()
+        for name in order:
+            action = tasks[name].action
+            began = time.perf_counter() - t0
+            value = action() if action is not None else None
+            ended = time.perf_counter() - t0
+            intervals[name] = WallInterval(start=began, end=ended, worker=0)
+            values[name] = value
+        wall_time = (max(i.end for i in intervals.values())
+                     - min(i.start for i in intervals.values())
+                     if intervals else 0.0)
+        return ExecutionResult(backend=self.name, executed_real=False,
+                               wall_time=wall_time, wall_intervals=intervals,
+                               values=values,
                                kinds={t.name: t.kind for t in graph.tasks})
 
 

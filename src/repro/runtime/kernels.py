@@ -125,6 +125,23 @@ class KernelEngine(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    def page_owner(self, page: int) -> int:
+        """Rank owning memory page ``page`` (0 in a single address space)."""
+        return 0
+
+    def run_on_rank(self, rank: int, fn: Callable[[], object]) -> object:
+        """Execute ``fn`` on a specific rank's worker *without* counting
+        it as a recovery dispatch (probe work of the wall-clock
+        re-enactment); single-address-space engines run it inline."""
+        return fn()
+
+    def halo_exchange(self, d: np.ndarray) -> object:
+        """Re-enact the halo exchange of ``d`` (read-only, bitwise
+        neutral); a no-op in a single address space.  The ranks
+        placement really moves the halo of ``d`` over the rank channels
+        so the exchange has a measurable wall interval."""
+        return None
+
     def comm_stats(self):
         """Measured communication statistics, or ``None`` when the
         engine performs no inter-rank communication."""
@@ -188,13 +205,29 @@ class LocalKernelEngine(KernelEngine):
 
 
 def make_kernel_engine(blocked, ranks: int = 1,
-                       timeout: Optional[float] = None) -> KernelEngine:
-    """Build the kernel engine for a solve: local for 1 rank, the
-    rank-parallel runtime of :mod:`repro.distributed.ranks` otherwise."""
+                       timeout: Optional[float] = None,
+                       placement: Optional[str] = None) -> KernelEngine:
+    """Build the kernel engine for a solve.
+
+    ``placement`` is the unified runtime's placement axis: ``"local"``
+    forces the single-address-space engine (and rejects ``ranks > 1``),
+    ``"ranks"`` forces the rank runtime even for a single strip.  When
+    ``None`` (the legacy path) the placement is inferred from ``ranks``:
+    local for 1, rank-parallel otherwise.
+    """
     if ranks < 1:
         raise ValueError(f"ranks must be >= 1, got {ranks}")
-    if ranks == 1:
+    if placement is None:
+        placement = "ranks" if ranks > 1 else "local"
+    if placement == "local":
+        if ranks > 1:
+            raise ValueError(
+                f"placement='local' is a single address space and cannot "
+                f"host ranks={ranks}; use placement='ranks'")
         return LocalKernelEngine(blocked.A, blocked.n, blocked.page_size)
+    if placement != "ranks":
+        raise ValueError(f"unknown placement {placement!r}; the placement "
+                         f"axis takes 'local' or 'ranks'")
     from repro.distributed.ranks import RankKernelEngine
     kwargs = {} if timeout is None else {"timeout": timeout}
     return RankKernelEngine(blocked, ranks, **kwargs)

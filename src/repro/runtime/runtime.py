@@ -1,0 +1,256 @@
+"""The composable runtime: scheduler x placement x clock.
+
+PR 2 introduced the :class:`~repro.runtime.backend.ExecutionBackend`
+seam (how a task graph runs) and PR 3 the
+:class:`~repro.runtime.kernels.KernelEngine` seam (where the numerical
+kernels run).  They composed by convention — ``backend=`` and ``ranks=``
+were separate knobs whose combinations were partly forbidden — which
+made two cells of the design space unexpressible: the threaded task
+system over rank-sharded kernels, and AFEIR recovery overlapping the
+*halo exchange* on the owning rank.  This module replaces the
+convention with a single composition of three orthogonal axes:
+
+scheduler
+    How the iteration task graphs run.  ``"list"`` is the deterministic
+    discrete-event list scheduler; ``"threaded"`` additionally executes
+    every graph for real on a dependency-tracked priority thread pool.
+placement
+    Where the numerical kernels run.  ``"local"`` is the single-address-
+    space NumPy engine; ``"ranks"`` strip-partitions every kernel over
+    N rank workers with a load-bearing halo exchange and tree
+    allreduces (:mod:`repro.distributed.ranks`).
+clock
+    Which timeline is *reported*.  ``"simulated"`` reports only the
+    deterministic discrete-event timeline; ``"wall"`` additionally
+    reports measured wall-clock intervals of the re-enacted execution
+    (task overlap, vulnerable windows, per-state wall shares).
+
+The simulated timeline is authoritative for every clock-dependent
+decision in **all** cells, and kernels reduce in fixed page order in
+all placements, so every (scheduler x placement x clock) cell produces
+bit-identical iterates, solve times, recovery decisions and campaign
+fingerprints — the repo's central invariant.
+
+``backend="simulated"``/``backend="threaded"`` and ``ranks=N`` remain
+accepted as deprecated aliases: a legacy backend name fills in whichever
+axes were not given explicitly (see :data:`~repro.runtime.backend.BACKEND_ALIASES`),
+and ``ranks > 1`` implies ``placement="ranks"``.  Existing configs,
+stored campaign keys and CLI invocations therefore keep working and keep
+their content addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.backend import (BACKEND_ALIASES, BACKEND_NAMES,
+                                   ExecutionBackend, ExecutionResult,
+                                   SimulatedBackend)
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.graph import TaskGraph
+from repro.runtime.kernels import KernelEngine, make_kernel_engine
+from repro.runtime.scheduler import ScheduleResult
+
+#: Values of the scheduler axis.
+SCHEDULER_NAMES = ("list", "threaded")
+#: Values of the placement axis.
+PLACEMENT_NAMES = ("local", "ranks")
+#: Values of the clock axis.
+CLOCK_NAMES = ("simulated", "wall")
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """One resolved (scheduler x placement x clock) cell."""
+
+    scheduler: str = "list"
+    placement: str = "local"
+    clock: str = "simulated"
+    ranks: int = 1
+
+    def __post_init__(self):
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; the scheduler axis "
+                f"of make_runtime takes {' or '.join(SCHEDULER_NAMES)}")
+        if self.placement not in PLACEMENT_NAMES:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; the placement axis "
+                f"of make_runtime takes {' or '.join(PLACEMENT_NAMES)}")
+        if self.clock not in CLOCK_NAMES:
+            raise ValueError(
+                f"unknown clock {self.clock!r}; the clock axis of "
+                f"make_runtime takes {' or '.join(CLOCK_NAMES)}")
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.placement == "local" and self.ranks > 1:
+            raise ValueError(
+                f"placement='local' is a single address space and cannot "
+                f"host ranks={self.ranks}; use "
+                f"make_runtime(placement='ranks', ranks={self.ranks}) or "
+                f"drop the ranks axis")
+
+    # ------------------------------------------------------------------
+    @property
+    def executes_real(self) -> bool:
+        """True when iteration graphs additionally run on real threads."""
+        return self.scheduler == "threaded"
+
+    @property
+    def measures_wall(self) -> bool:
+        """True when measured wall intervals are reported to the caller."""
+        return self.clock == "wall"
+
+    @property
+    def runs_reenactment(self) -> bool:
+        """True when the solver re-enacts each iteration graph for real
+        (either to exercise real concurrency or to measure wall time)."""
+        return self.executes_real or self.measures_wall
+
+    def backend_alias(self) -> str:
+        """The legacy ``backend=`` name of this (scheduler, clock) pair,
+        or the explicit ``scheduler+clock`` composition when the pair has
+        no legacy name.  Used by content tokens so every previously
+        expressible cell keeps its store address byte-for-byte."""
+        for name, (sched, clock) in BACKEND_ALIASES.items():
+            if (sched, clock) == (self.scheduler, self.clock):
+                return name
+        return f"{self.scheduler}+{self.clock}"
+
+    def describe(self) -> str:
+        return (f"runtime(scheduler={self.scheduler}, "
+                f"placement={self.placement}, clock={self.clock}, "
+                f"ranks={self.ranks})")
+
+
+def resolve_runtime_spec(backend: Optional[str] = None,
+                         scheduler: Optional[str] = None,
+                         placement: Optional[str] = None,
+                         clock: Optional[str] = None,
+                         ranks: Optional[int] = None) -> RuntimeSpec:
+    """Resolve legacy aliases and axis overrides into a :class:`RuntimeSpec`.
+
+    ``backend`` (deprecated alias) fills in whichever of ``scheduler``
+    and ``clock`` were not given explicitly; an explicit axis always
+    wins.  ``ranks > 1`` implies ``placement="ranks"``; an explicit
+    ``placement="ranks"`` with ``ranks=1`` runs the rank runtime with a
+    single strip.  Invalid combinations raise a :class:`ValueError`
+    naming the factory axis to fix.
+    """
+    if backend is not None:
+        key = str(backend).strip().lower()
+        if key not in BACKEND_ALIASES:
+            raise ValueError(
+                f"unknown execution backend {backend!r}; known backends: "
+                f"{', '.join(BACKEND_NAMES)} (or compose the runtime axes "
+                f"directly: make_runtime(scheduler=..., placement=..., "
+                f"clock=...))")
+        alias_scheduler, alias_clock = BACKEND_ALIASES[key]
+        scheduler = scheduler if scheduler is not None else alias_scheduler
+        clock = clock if clock is not None else alias_clock
+    scheduler = "list" if scheduler is None else str(scheduler).strip().lower()
+    clock = "simulated" if clock is None else str(clock).strip().lower()
+    ranks = 1 if ranks is None else int(ranks)
+    if placement is None:
+        placement = "ranks" if ranks > 1 else "local"
+    else:
+        placement = str(placement).strip().lower()
+    return RuntimeSpec(scheduler=scheduler, placement=placement,
+                       clock=clock, ranks=ranks)
+
+
+class Runtime:
+    """One composed runtime: a graph executor plus a kernel engine.
+
+    The solver talks to exactly this object: ``simulate``/``execute``
+    run the iteration task graphs (scheduler + clock axes), ``engine``
+    runs the numerical kernels (placement axis), and ``spec`` answers
+    the cell-dependent questions (does the re-enactment run?  is wall
+    time reported?).
+    """
+
+    def __init__(self, spec: RuntimeSpec, executor: ExecutionBackend,
+                 engine: KernelEngine):
+        self.spec = spec
+        self.executor = executor
+        self.engine = engine
+
+    # -- graph execution (scheduler/clock axes) -------------------------
+    def simulate(self, graph: TaskGraph,
+                 start_time: float = 0.0) -> ScheduleResult:
+        return self.executor.simulate(graph, start_time=start_time)
+
+    def run(self, graph: TaskGraph,
+            start_time: float = 0.0) -> ExecutionResult:
+        return self.executor.run(graph, start_time=start_time)
+
+    def execute(self, graph: TaskGraph) -> ExecutionResult:
+        return self.executor.execute(graph)
+
+    # -- delegated spec queries -----------------------------------------
+    @property
+    def executes_real(self) -> bool:
+        return self.spec.executes_real
+
+    @property
+    def measures_wall(self) -> bool:
+        return self.spec.measures_wall
+
+    @property
+    def runs_reenactment(self) -> bool:
+        return self.spec.runs_reenactment
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release real resources of both halves (idempotent)."""
+        self.executor.close()
+        self.engine.close()
+
+    def describe(self) -> str:
+        return (f"{self.spec.describe()} -> {self.executor.describe()} + "
+                f"{self.engine.describe()}")
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_runtime(blocked, *,
+                 num_workers: int,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 charge_overhead: bool = True,
+                 max_threads: Optional[int] = None,
+                 pace: float = 1.0,
+                 timeout: Optional[float] = None,
+                 backend: Optional[str] = None,
+                 scheduler: Optional[str] = None,
+                 placement: Optional[str] = None,
+                 clock: Optional[str] = None,
+                 ranks: Optional[int] = None,
+                 spec: Optional[RuntimeSpec] = None) -> Runtime:
+    """Build the composed runtime for one solve.
+
+    ``blocked`` is the solve's :class:`~repro.matrices.blocked.PageBlockedMatrix`
+    (the placement axis binds kernels to it); the remaining keyword
+    arguments select the cell — either a pre-resolved ``spec`` or the
+    axes/aliases :func:`resolve_runtime_spec` accepts.
+    """
+    if spec is None:
+        spec = resolve_runtime_spec(backend=backend, scheduler=scheduler,
+                                    placement=placement, clock=clock,
+                                    ranks=ranks)
+    if spec.scheduler == "threaded":
+        from repro.runtime.async_exec import ThreadedBackend
+        executor: ExecutionBackend = ThreadedBackend(
+            num_workers, cost_model=cost_model,
+            charge_overhead=charge_overhead, max_threads=max_threads,
+            pace=pace)
+    else:
+        executor = SimulatedBackend(num_workers, cost_model=cost_model,
+                                    charge_overhead=charge_overhead)
+    engine = make_kernel_engine(blocked, ranks=spec.ranks,
+                                timeout=timeout, placement=spec.placement)
+    return Runtime(spec=spec, executor=executor, engine=engine)

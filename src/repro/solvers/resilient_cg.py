@@ -72,9 +72,9 @@ from repro.memory.manager import MemoryManager
 from repro.memory.pages import PagedVector
 from repro.precond.base import Preconditioner
 from repro.runtime.async_exec import VulnerableWindowMonitor
-from repro.runtime.backend import ExecutionResult, make_backend
+from repro.runtime.backend import ExecutionResult
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.runtime.kernels import make_kernel_engine
+from repro.runtime.runtime import make_runtime
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ScheduleResult
 from repro.runtime.task import TaskKind
@@ -102,27 +102,36 @@ class SolverConfig:
     #: Extra simulated cost of servicing one page fault (signal delivery,
     #: page re-mapping by the OS), charged per detected DUE.
     fault_service_time: float = 0.5e-3
-    #: Execution backend for the iteration task graphs: ``"simulated"``
-    #: (discrete-event only, the default) or ``"threaded"`` (the same
-    #: graphs additionally execute for real on worker threads, measuring
-    #: wall-clock overlap and the AFEIR vulnerable window).  The simulated
-    #: timeline — and therefore every clock-dependent decision — is
-    #: bit-identical between the two.
+    #: Deprecated alias for the runtime's (scheduler, clock) axes:
+    #: ``"simulated"`` resolves to (list, simulated), ``"threaded"`` to
+    #: (threaded, wall).  A legacy name only fills in axes not given
+    #: explicitly below.  The simulated timeline — and therefore every
+    #: clock-dependent decision — is bit-identical across all cells.
     backend: str = "simulated"
-    #: Cap on the threaded backend's real thread count (``None``: one
+    #: Cap on the threaded scheduler's real thread count (``None``: one
     #: thread per simulated worker, capped by ``REPRO_MAX_WORKERS``).
     max_threads: Optional[int] = None
-    #: Wall-clock pacing of the threaded backend: each task occupies its
-    #: thread for at least ``duration * pace`` real seconds, so schedule
-    #: effects (overlap, barriers) are physically measurable.  0 disables.
+    #: Wall-clock pacing of the threaded scheduler: each task occupies
+    #: its thread for at least ``duration * pace`` real seconds, so
+    #: schedule effects (overlap, barriers) are physically measurable.
+    #: 0 disables.
     pace: float = 1.0
     #: Rank-parallel execution (``repro.distributed.ranks``): with
     #: ``ranks > 1`` the numerical kernels are strip-partitioned over
     #: that many rank workers with real halo exchange, tree allreduces
     #: and owner-local recovery.  The reductions are reproducibly
     #: ordered, so results are bit-identical to ``ranks=1``; the
-    #: simulated timeline is unaffected either way.
+    #: simulated timeline is unaffected either way.  ``ranks > 1``
+    #: implies ``placement="ranks"``.
     ranks: int = 1
+    #: Runtime axes (:func:`repro.runtime.runtime.make_runtime`).  Each
+    #: ``None`` is filled in from the deprecated ``backend``/``ranks``
+    #: aliases above: scheduler "list"/"threaded" (how graphs run),
+    #: placement "local"/"ranks" (where kernels run), clock
+    #: "simulated"/"wall" (which timeline is reported).
+    scheduler: Optional[str] = None
+    placement: Optional[str] = None
+    clock: Optional[str] = None
 
 
 @dataclass
@@ -208,34 +217,25 @@ class ResilientCG:
         self.preconditioner = preconditioner
         self.scenario = scenario
         self.matrix_name = matrix_name
-        #: Graph construction is decoupled from graph execution: the
-        #: backend decides whether graphs are only timed (simulated) or
-        #: additionally executed on real threads (threaded).  Both share
-        #: one deterministic scheduler, so the simulated timeline is
-        #: backend-independent.
-        self.backend = make_backend(self.config.backend,
-                                    self.config.num_workers,
+        #: The composed runtime: one object owning the graph executor
+        #: (scheduler + clock axes) and the kernel engine (placement
+        #: axis).  All cells share one deterministic list scheduler for
+        #: the simulated timeline and reduce in fixed page order, so
+        #: every (scheduler x placement x clock) cell produces
+        #: bit-identical iterates, solve times and recovery decisions.
+        self.runtime = make_runtime(self.blocked,
+                                    num_workers=self.config.num_workers,
                                     cost_model=self.config.cost_model,
                                     max_threads=self.config.max_threads,
-                                    pace=self.config.pace)
+                                    pace=self.config.pace,
+                                    backend=self.config.backend,
+                                    scheduler=self.config.scheduler,
+                                    placement=self.config.placement,
+                                    clock=self.config.clock,
+                                    ranks=self.config.ranks)
+        self.backend = self.runtime.executor
         self.scheduler = self.backend.scheduler
-        #: Kernel execution is likewise decoupled: the engine decides
-        #: *where* the spmv/axpy/dot/recovery numerics run — in this
-        #: address space (``ranks=1``) or strip-partitioned over rank
-        #: workers with real halo exchange and tree allreduces.  The
-        #: reductions are reproducibly ordered, so every engine produces
-        #: bit-identical iterates and recovery decisions.
-        if self.config.ranks < 1:
-            raise ValueError(f"ranks must be >= 1, "
-                             f"got {self.config.ranks}")
-        if self.config.ranks > 1 and self.config.backend != "simulated":
-            raise ValueError(
-                f"ranks={self.config.ranks} requires the 'simulated' "
-                f"timing backend: the rank runtime owns the real "
-                f"execution, and combining it with the threaded backend "
-                f"would execute every kernel twice")
-        self.engine = make_kernel_engine(self.blocked,
-                                         ranks=self.config.ranks)
+        self.engine = self.runtime.engine
         self.monitor = VulnerableWindowMonitor()
         self._wall_clock = 0.0
         self._wall_trace: Optional[ExecutionTrace] = None
@@ -250,9 +250,8 @@ class ResilientCG:
     # public API
     # ==================================================================
     def close(self) -> None:
-        """Release the backend's and engine's real resources (idempotent)."""
-        self.backend.close()
-        self.engine.close()
+        """Release the runtime's real resources (idempotent)."""
+        self.runtime.close()
 
     def __enter__(self) -> "ResilientCG":
         return self
@@ -758,35 +757,90 @@ class ResilientCG:
     # ==================================================================
     def _execute_iteration_for_real(self, iteration: int, checkpoint_now: bool,
                                     state: CGState, this_d: str,
-                                    graph: Optional[TaskGraph] = None) -> None:
-        """Run this iteration's task graph on the backend's real threads.
+                                    graph: Optional[TaskGraph] = None,
+                                    recovery_durations: Optional[
+                                        Dict[str, float]] = None) -> None:
+        """Re-enact this iteration's task graph for real (read-only).
 
         The graph structure is the one the simulator timed — including
         the enlarged recovery durations when this iteration repaired
         faults, so pacing charges the same recovery work the simulated
         timeline does.  ``graph`` is the iteration's already-built graph
-        when one exists; it is ``None`` only on the template fast path
-        (fault-free, no checkpoint), where an equivalent graph is built
-        here.  Every task carries a real (read-only, bitwise-neutral)
-        action: partial dot products for the reduction chunks, memory
-        touches for the vector-update chunks, and the strategy's
-        recovery scan for the r1/r2/r3 tasks.  Measured wall intervals
-        feed the vulnerable-window monitor and the wall-clock overhead
-        accounting.
+        when one exists; with the ``ranks`` placement a fresh copy is
+        always built here, because the re-enactment rewires dependencies
+        (the halo task, the r1 overlap) and must never mutate a graph
+        the pass-2 simulate will time.  Every task carries a real
+        (read-only, bitwise-neutral) action: partial dot products for
+        the reduction chunks, memory touches for the vector-update
+        chunks, and the strategy's recovery scan for the r1/r2/r3 tasks
+        — shipped to the owning rank under the ranks placement.
+        Measured wall intervals feed the vulnerable-window monitor and
+        the wall-clock overhead accounting; cells with the simulated
+        clock discard them (the execution still happens, so races and
+        ordering are exercised, but wall time is not an output).
         """
-        if graph is None:
+        distributed = self.runtime.spec.placement == "ranks"
+        if graph is None or distributed:
             graph = self._build_iteration_graph(
                 iteration, resilient=self._uses_recovery_tasks(),
-                recovery_durations=None, checkpoint=checkpoint_now)
+                recovery_durations=recovery_durations,
+                checkpoint=checkpoint_now)
+        if distributed:
+            self._add_halo_reenactment(graph, iteration, state, this_d)
         self._attach_real_actions(graph, iteration, state, this_d)
         # execute(), not run(): the simulated timeline of this iteration
         # is already known (pass 1 / template), so only the measured side
         # is computed here.
         result = self.backend.execute(graph)
+        if not self.runtime.measures_wall:
+            result.wall_intervals = {}
+            result.wall_time = 0.0
         pairs = (tuple(self.strategy.vulnerable_pairs(iteration))
                  if self._uses_recovery_tasks() else ())
         self.monitor.observe(result, pairs)
-        self._accumulate_wall(result)
+        if self.runtime.measures_wall:
+            self._accumulate_wall(result)
+
+    def _add_halo_reenactment(self, graph: TaskGraph, iteration: int,
+                              state: CGState, this_d: str) -> None:
+        """Splice the rank halo exchange into the re-enactment graph.
+
+        The ``halo{t}`` task really moves the halo of the current search
+        direction over the rank channels (a read-only probe: it writes
+        the same ``d`` values the preceding spmv already exchanged), so
+        it has a measurable wall interval of :class:`TaskKind.COMMUNICATION`.
+        It is given duration 0.0 and lives only in this re-enactment
+        graph — the simulated timeline never sees it, which is what
+        keeps every runtime cell's simulated decisions bit-identical.
+
+        For strategies with off-critical-path recovery (AFEIR), ``r1``
+        is re-wired from the spmv chunks back to the d-update chunks so
+        it becomes *ready* at the same moment the halo exchange starts:
+        the paper's claim that exact forward recovery overlaps the
+        neighbour communication.  Critical-path strategies (FEIR) keep
+        their reduction-chain dependencies, so they structurally cannot
+        overlap the halo — the measured contrast the monitor reports.
+        """
+        t = iteration
+        d_parts = [name for name in
+                   (f"d{t}:{c}" for c in range(len(self._chunk_bounds)))
+                   if name in graph]
+        if not d_parts:
+            return
+        engine = self.engine
+        d_cur = state.vectors[this_d].array
+        halo_name = f"halo{t}"
+        graph.add_task(halo_name, 0.0, kind=TaskKind.COMMUNICATION,
+                       deps=list(d_parts),
+                       action=lambda: engine.halo_exchange(d_cur))
+        for c in range(len(self._chunk_bounds)):
+            name = f"q{t}:{c}"
+            if name in graph:
+                graph.task(name).depends_on(halo_name)
+        if (self._uses_recovery_tasks()
+                and not self.strategy.recovery_in_critical_path
+                and f"r1_{t}" in graph):
+            graph.task(f"r1_{t}").deps = list(d_parts)
 
     def _attach_real_actions(self, graph: TaskGraph, iteration: int,
                              state: CGState, this_d: str) -> None:
@@ -823,11 +877,27 @@ class ResilientCG:
                 if name in graph:
                     graph.task(name).action = action
         if self.strategy is not None:
+            distributed = self.runtime.spec.placement == "ranks"
+            num_pages = vectors["x"].num_pages
             for key in ("r1", "r2", "r3"):
                 name = f"{key}_{t}"
                 if name in graph:
-                    graph.task(name).action = self.strategy.recovery_probe(
+                    probe = self.strategy.recovery_probe(
                         state.memory, self.monitor, label=name)
+                    if distributed:
+                        # The paper's locality rule: the recovery scan
+                        # runs on the rank owning the (potentially) lost
+                        # page.  run_on_rank ships the probe without
+                        # counting it as a recovery dispatch.
+                        def shipped(probe=probe, memory=state.memory,
+                                    t=t, num_pages=num_pages):
+                            lost = memory.lost_pages()
+                            page = lost[0][1] if lost else t % num_pages
+                            return self.engine.run_on_rank(
+                                self.engine.page_owner(page), probe)
+                        graph.task(name).action = shipped
+                    else:
+                        graph.task(name).action = probe
         ckpt_name = f"ckpt{t}"
         if ckpt_name in graph:
             graph.task(ckpt_name).action = touch_chunk(x, slice(0, self.n))
@@ -899,19 +969,23 @@ class ResilientCG:
         extra_work = sum(recovery_work.values())
         cm = self.config.cost_model
         rec_graph = None
+        durations: Optional[Dict[str, float]] = None
         if (faults or extra_work != 0.0) and self._uses_recovery_tasks():
             durations = {key: cm.recovery_check() + value
                          for key, value in recovery_work.items()}
             rec_graph = self._build_iteration_graph(
                 iteration, resilient=True, recovery_durations=durations,
                 checkpoint=checkpoint_now)
-        if self.backend.executes_real:
+        if self.runtime.runs_reenactment:
             # Reuse whichever graph this iteration already has; attaching
             # actions is invisible to the pass-2 simulate below (it never
-            # executes them).
+            # executes them).  The ranks placement ignores the reused
+            # graph and rebuilds from ``durations`` (its re-enactment
+            # rewires dependencies and must not touch these graphs).
             self._execute_iteration_for_real(
                 iteration, checkpoint_now, state, this_d,
-                graph=rec_graph if rec_graph is not None else graph1)
+                graph=rec_graph if rec_graph is not None else graph1,
+                recovery_durations=durations)
         if not faults and extra_work == 0.0:
             trace_total.accumulate(trace1)
             return clock + makespan1

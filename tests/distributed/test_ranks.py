@@ -154,11 +154,24 @@ class TestRankValidation:
         with pytest.raises(ValueError, match="ranks"):
             ResilientCG(A, b, config=SolverConfig(ranks=0))
 
-    def test_ranks_incompatible_with_threaded_backend(self, problem):
+    def test_threaded_with_ranks_is_a_valid_cell(self, problem):
+        # The unified runtime lifted the old "ranks needs the simulated
+        # backend" restriction: threaded scheduling composes with the
+        # ranks placement, and the cell stays bit-identical.
         A, b = problem
-        with pytest.raises(ValueError, match="simulated"):
+        baseline = run_solver(A, b, ranks=2)
+        with ResilientCG(A, b, config=SolverConfig(
+                page_size=PAGE, tolerance=1e-10, ranks=2,
+                backend="threaded", pace=0.0, max_threads=4)) as solver:
+            threaded = solver.solve()
+        assert np.array_equal(threaded.x, baseline.x)
+        assert threaded.solve_time == baseline.solve_time
+
+    def test_local_placement_rejects_ranks(self, problem):
+        A, b = problem
+        with pytest.raises(ValueError, match="placement"):
             ResilientCG(A, b, config=SolverConfig(ranks=2,
-                                                  backend="threaded"))
+                                                  placement="local"))
 
     def test_more_ranks_than_pages_rejected(self, problem):
         A, b = problem                  # 1000 rows = 8 pages of 128
