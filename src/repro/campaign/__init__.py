@@ -40,8 +40,8 @@ from repro.campaign.spec import (MATRIX_FAMILIES, CampaignSpec, MatrixSpec,
                                  parse_shard, shard_trials)
 from repro.campaign.store import (DEFAULT_STORE_PATH, STORE_ENV,
                                   STORE_SCHEMA_VERSION, CampaignStore,
-                                  StoreSchemaError, default_store_root,
-                                  open_store)
+                                  StoreSchemaError, VerifyReport,
+                                  default_store_root, open_store)
 
 __all__ = [
     "CampaignExecutor",
@@ -65,6 +65,7 @@ __all__ = [
     "TrialResult",
     "TrialSpec",
     "TripAfter",
+    "VerifyReport",
     "content_hash",
     "default_store_root",
     "make_executor",

@@ -154,6 +154,13 @@ def build_store_parser() -> argparse.ArgumentParser:
                              "~/.cache/repro-campaign)")
     parser.add_argument("--info", action="store_true",
                         help="print entry counts per artifact kind")
+    parser.add_argument("--verify", action="store_true",
+                        help="re-check every entry against its "
+                             "content-token filename and embedded "
+                             "checksum; exit 1 if any entry is corrupt")
+    parser.add_argument("--remove", action="store_true",
+                        help="with --verify: delete corrupt entries "
+                             "(they become plain cache misses)")
     parser.add_argument("--gc", action="store_true",
                         help="prune entries unreferenced for --days days")
     parser.add_argument("--days", type=float, default=GC_DEFAULT_DAYS,
@@ -261,8 +268,12 @@ def main_merge(argv) -> int:
 
 def main_store(argv) -> int:
     args = build_store_parser().parse_args(argv)
-    if not (args.info or args.gc):
-        print("error: nothing to do — pass --info and/or --gc",
+    if not (args.info or args.gc or args.verify):
+        print("error: nothing to do — pass --info, --verify and/or --gc",
+              file=sys.stderr)
+        return 2
+    if args.remove and not args.verify:
+        print("error: --remove only makes sense with --verify",
               file=sys.stderr)
         return 2
     try:
@@ -275,6 +286,15 @@ def main_store(argv) -> int:
         print(f"store: {store.root}")
         for kind, count in sorted(counts.items()):
             print(f"  {kind}: {count}")
+    corrupt_found = False
+    if args.verify:
+        report = store.verify(remove=args.remove)
+        print(f"verify: {report.verified} verified, {report.legacy} legacy "
+              f"(pre-checksum), {len(report.corrupt)} corrupt"
+              + (f", {report.removed} removed" if args.remove else ""))
+        for kind, path, reason in report.corrupt:
+            print(f"  corrupt {kind}: {path} — {reason}")
+        corrupt_found = not report.ok
     if args.gc:
         try:
             removed, kept = store.gc(days=args.days)
@@ -283,7 +303,7 @@ def main_store(argv) -> int:
             return 2
         print(f"gc: removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"unreferenced for {args.days:g} days, kept {kept}")
-    return 0
+    return 1 if corrupt_found else 0
 
 
 def main(argv=None) -> int:

@@ -249,7 +249,8 @@ def run_campaign(spec: CampaignSpec,
             else:
                 pending.append(trial)
         store.journal_append(campaign_key, {
-            "event": "start", "spec": spec.describe(), "total": total,
+            "event": "start", "key": campaign_key,
+            "spec": spec.describe(), "total": total,
             "shard": list(shard) if shard else None,
             "cached": result.cache_hits, "pending": len(pending)})
 
@@ -263,7 +264,8 @@ def run_campaign(spec: CampaignSpec,
         result.add(trial_result)
         if store is not None:
             store.journal_append(campaign_key, {
-                "event": "trial", "index": trial_result.index})
+                "event": "trial", "key": campaign_key,
+                "index": trial_result.index})
         if progress is not None:
             progress(trial_result, completed, len(trials))
         if trip is not None:
@@ -276,7 +278,7 @@ def run_campaign(spec: CampaignSpec,
                            f"pending trials ({len(trials)} in the shard)")
     if store is not None:
         store.journal_append(campaign_key, {
-            "event": "done", "executed": executed,
+            "event": "done", "key": campaign_key, "executed": executed,
             "cached": result.cache_hits,
             "fingerprint": result.fingerprint()})
     return result

@@ -36,12 +36,14 @@ on a shared filesystem) never observe half-written artifacts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -75,6 +77,33 @@ def default_store_root() -> Path:
     if override is not None and override.strip():
         return Path(override).expanduser()
     return Path(DEFAULT_STORE_PATH).expanduser()
+
+
+def _payload_checksum(body: dict) -> str:
+    """Integrity checksum of a JSON artifact payload: SHA-256 of the
+    canonical serialization of everything except the checksum itself."""
+    canon = json.dumps({k: v for k, v in body.items() if k != "checksum"},
+                       sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :meth:`CampaignStore.verify`."""
+
+    #: Entries whose integrity was positively confirmed.
+    verified: int = 0
+    #: Readable entries written before keys/checksums were embedded;
+    #: they parse and carry the right schema but cannot be re-hashed.
+    legacy: int = 0
+    #: ``(kind, path, reason)`` of every corrupt entry found.
+    corrupt: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Corrupt entries deleted (``verify(remove=True)``).
+    removed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
 
 
 class CampaignStore:
@@ -180,9 +209,15 @@ class CampaignStore:
         return payload
 
     def _put_json(self, kind: str, key: str, payload: dict) -> None:
-        payload = {"schema": STORE_SCHEMA_VERSION, **payload}
+        body = {"schema": STORE_SCHEMA_VERSION, "key": key, **payload}
+        # Self-describing integrity: the entry carries its own content
+        # address ("key" — must match the filename) and a checksum over
+        # the canonical serialization, so ``verify`` can detect both
+        # misplaced and bit-rotted entries.  Readers ignore both fields;
+        # pre-existing entries without them stay readable ("legacy").
+        body["checksum"] = _payload_checksum(body)
         self._atomic_write_text(self._path(kind, key),
-                                json.dumps(payload, sort_keys=True))
+                                json.dumps(body, sort_keys=True))
 
     # ------------------------------------------------------------------
     # trials
@@ -260,7 +295,7 @@ class CampaignStore:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, kind=kind,
+                np.savez(handle, kind=kind, key=key,
                          shape=np.asarray(A.shape, dtype=np.int64),
                          data=A.data, indices=A.indices, indptr=A.indptr,
                          b=np.asarray(b))
@@ -293,30 +328,59 @@ class CampaignStore:
         return self.root / "journals" / f"{campaign_key}.jsonl"
 
     def journal_append(self, campaign_key: str, event: dict) -> None:
+        """Append one event, crash-safely: the line is flushed and
+        fsynced before returning, so a daemon (or worker) killed right
+        after persisting a trial never leaves the journal behind the
+        store.  The only loss mode is a torn *trailing* line (killed
+        mid-append), which :meth:`journal_events` skips on read."""
         path = self.journal_path(campaign_key)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "a") as handle:
             handle.write(json.dumps(event, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def journal_events(self, campaign_key: str) -> Iterator[dict]:
+        """Parsed journal events, oldest first.
+
+        Resilient by construction — the daemon's resume path depends on
+        it: a missing journal yields nothing, a truncated trailing line
+        (crash mid-append) is skipped instead of raising, and so is any
+        earlier undecodable line (torn by a crash of a pre-fsync
+        version, or bit rot — ``verify`` reports those).
+        """
         try:
             with open(self.journal_path(campaign_key)) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        yield json.loads(line)
-                    except ValueError:
-                        continue  # torn tail line from an interrupted run
+                lines = handle.readlines()
         except FileNotFoundError:
             return
+        for line in lines:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield json.loads(stripped)
+            except ValueError:
+                # A torn final line is the expected crash artifact; an
+                # unparseable earlier line is tolerated the same way so
+                # one bad byte cannot hide the rest of the history.
+                continue
 
     def journal_summary(self, campaign_key: str) -> Optional[Dict]:
-        """Completed-trial count and last event of a prior run, if any."""
+        """Completed-trial count and last event of a prior run, if any.
+
+        Events stamped with a campaign ``key`` must match
+        ``campaign_key``: a journal file that was copied, renamed or
+        left behind by tooling for a *different* spec is ignored
+        entirely (``None``) rather than merged into the wrong campaign's
+        resume report.
+        """
         persisted = set()
         last = None
         for event in self.journal_events(campaign_key):
+            stamped = event.get("key")
+            if stamped is not None and stamped != campaign_key:
+                return None
             last = event
             if event.get("event") == "trial":
                 persisted.add(event.get("index"))
@@ -377,6 +441,114 @@ class CampaignStore:
                 except OSError:
                     continue
         return removed, kept
+
+    # ------------------------------------------------------------------
+    # integrity verification
+    # ------------------------------------------------------------------
+    def _verify_json_entry(self, path: Path) -> Tuple[str, str]:
+        """``("ok"|"legacy"|"corrupt", reason)`` for one JSON artifact."""
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError) as exc:
+            return "corrupt", f"unreadable JSON: {exc}"
+        if not isinstance(payload, dict):
+            return "corrupt", "payload is not an object"
+        if payload.get("schema") != STORE_SCHEMA_VERSION:
+            return "corrupt", (f"schema v{payload.get('schema')}, "
+                               f"expected v{STORE_SCHEMA_VERSION}")
+        key = payload.get("key")
+        checksum = payload.get("checksum")
+        if key is None and checksum is None:
+            return "legacy", "entry predates embedded keys/checksums"
+        if key is not None and key != path.stem:
+            return "corrupt", (f"embedded key {key[:12]}... does not match "
+                               f"filename {path.stem[:12]}...")
+        if checksum is not None and checksum != _payload_checksum(payload):
+            return "corrupt", "payload checksum mismatch (bit rot?)"
+        return "ok", ""
+
+    def _verify_matrix_entry(self, path: Path) -> Tuple[str, str]:
+        try:
+            with np.load(path) as archive:
+                names = set(archive.files)
+                for name in names:
+                    archive[name]  # force decompression => zip CRC check
+                key = str(archive["key"]) if "key" in names else None
+        except Exception as exc:  # noqa: BLE001 - any load failure = corrupt
+            return "corrupt", f"unreadable npz: {exc}"
+        if key is None:
+            return "legacy", "matrix predates embedded keys"
+        if key != path.stem:
+            return "corrupt", (f"embedded key {key[:12]}... does not match "
+                               f"filename {path.stem[:12]}...")
+        return "ok", ""
+
+    def _verify_journal_entry(self, path: Path) -> Tuple[str, str]:
+        try:
+            lines = path.read_text().splitlines()
+        except (OSError, UnicodeDecodeError) as exc:
+            return "corrupt", f"unreadable journal: {exc}"
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                json.loads(line)
+            except ValueError:
+                if position == len(lines) - 1:
+                    # Torn tail from a crash mid-append: expected, and
+                    # journal_events already skips it on read.
+                    return "ok", ""
+                return "corrupt", f"undecodable line {position + 1}"
+        return "ok", ""
+
+    def verify(self, remove: bool = False) -> VerifyReport:
+        """Re-check every stored entry against its content-token
+        filename and embedded checksum.
+
+        JSON artifacts must parse, carry the current schema, and (for
+        entries written by this version) embed a ``key`` equal to their
+        filename plus a checksum over their canonical serialization.
+        Matrices must pass the ``.npz`` zip CRC on every member and
+        match their embedded key; journals must be line-decodable except
+        for a torn trailing line.  ``remove=True`` deletes corrupt
+        entries (they become plain cache misses — the store recomputes
+        them on the next campaign).
+        """
+        report = VerifyReport()
+        checkers = {kind: self._verify_json_entry for kind in _KINDS}
+        checkers["matrices"] = self._verify_matrix_entry
+        for kind in _KINDS:
+            base = self.root / kind
+            if not base.exists():
+                continue
+            suffix = ".npz" if kind == "matrices" else ".json"
+            for path in sorted(base.glob(f"*/*{suffix}")):
+                verdict, reason = checkers[kind](path)
+                self._verify_record(report, kind, path, verdict, reason,
+                                    remove)
+        journals = self.root / "journals"
+        if journals.exists():
+            for path in sorted(journals.glob("*.jsonl")):
+                verdict, reason = self._verify_journal_entry(path)
+                self._verify_record(report, "journals", path, verdict,
+                                    reason, remove)
+        return report
+
+    @staticmethod
+    def _verify_record(report: VerifyReport, kind: str, path: Path,
+                       verdict: str, reason: str, remove: bool) -> None:
+        if verdict == "ok":
+            report.verified += 1
+        elif verdict == "legacy":
+            report.legacy += 1
+        else:
+            report.corrupt.append((kind, str(path), reason))
+            if remove:
+                try:
+                    path.unlink()
+                    report.removed += 1
+                except OSError:
+                    pass
 
 
 # ----------------------------------------------------------------------

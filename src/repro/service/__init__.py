@@ -1,0 +1,46 @@
+"""Campaign service: a long-running daemon for fault-injection campaigns.
+
+The paper's statistical workload — thousands of small solver trials per
+figure — amortises beautifully behind a persistent server: matrices,
+ideal baselines and finished trials stay warm in memory across
+submissions, a worker pool multiplexes shard jobs, and progress streams
+to clients as chunked JSONL.  See :mod:`repro.service.server` for the
+daemon, :mod:`repro.service.client` for the client library and
+``python -m repro.service`` for the CLI.
+
+The correctness anchor is inherited from the campaign engine: a spec
+submitted to the daemon yields a fingerprint byte-identical to the same
+spec run offline through ``python -m repro.campaign run``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, default_url
+from repro.service.protocol import (JOB_STATES, PROTOCOL_VERSION,
+                                    TERMINAL_STATES, ProtocolError,
+                                    spec_from_payload, spec_to_payload)
+from repro.service.server import (DEFAULT_HOST, DEFAULT_PORT,
+                                  SERVICE_CHAOS_ENV, SERVICE_HOST_ENV,
+                                  SERVICE_PORT_ENV, SERVICE_URL_ENV,
+                                  CampaignService, ChaosMonkey, WarmCache,
+                                  WorkerDied)
+
+__all__ = [
+    "CampaignService",
+    "ChaosMonkey",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SERVICE_CHAOS_ENV",
+    "SERVICE_HOST_ENV",
+    "SERVICE_PORT_ENV",
+    "SERVICE_URL_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "WarmCache",
+    "WorkerDied",
+    "default_url",
+    "spec_from_payload",
+    "spec_to_payload",
+]

@@ -1,0 +1,304 @@
+"""Command-line interface of the campaign service.
+
+Usage::
+
+    # start the daemon (foreground; Ctrl-C = non-drain shutdown)
+    python -m repro.service serve --port 8642 --workers 4
+
+    # submit a campaign and stream its progress until done
+    python -m repro.service submit --matrix laplacian2d:45 \
+        --methods FEIR AFEIR --rates 1 10 --trials 8 --watch
+
+    # observe / manage
+    python -m repro.service status            # all jobs
+    python -m repro.service status j1-ab12cd34
+    python -m repro.service watch j1-ab12cd34
+    python -m repro.service metrics
+    python -m repro.service cancel j1-ab12cd34
+    python -m repro.service shutdown          # drains, then exits
+    python -m repro.service shutdown --now    # cancels in-flight jobs
+
+The submitted spec is identical to ``python -m repro.campaign run``'s:
+the daemon prints the same fingerprint an offline run of the same spec
+produces, byte for byte (the ``campaign-service`` CI job asserts it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.campaign.spec import CampaignSpec, SolverKnobs
+from repro.campaign.store import CampaignStore, StoreSchemaError, \
+    default_store_root
+from repro.config import DEFAULT_SEED
+from repro.runtime.backend import BACKEND_NAMES
+from repro.runtime.runtime import (CLOCK_NAMES, PLACEMENT_NAMES,
+                                   SCHEDULER_NAMES)
+from repro.service.client import ServiceClient, ServiceError, default_url
+from repro.service.server import CampaignService, default_host, default_port
+
+SUBCOMMANDS = ("serve", "submit", "status", "watch", "cancel", "shutdown",
+               "metrics")
+
+
+def add_client_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default=None,
+                        help=f"daemon URL (default: REPRO_SERVICE_URL or "
+                             f"{default_url()})")
+
+
+def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-grid arguments, mirroring ``repro.campaign run``."""
+    parser.add_argument("--matrix", nargs="+", default=["laplacian2d:45"],
+                        help="matrix specs (qa8fm, laplacian2d:45, ...)")
+    parser.add_argument("--methods", nargs="+", default=["FEIR"],
+                        help="recovery methods (FEIR AFEIR Lossy ckpt "
+                             "Trivial)")
+    parser.add_argument("--rates", nargs="+", type=float, default=[1.0],
+                        help="normalised error rates")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="repetitions per (matrix, method, rate) cell")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--tolerance", type=float, default=1e-8)
+    parser.add_argument("--max-iterations", type=int, default=20000)
+    parser.add_argument("--page-size", type=int, default=128)
+    parser.add_argument("--preconditioned", action="store_true")
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="simulated")
+    parser.add_argument("--ranks", type=int, default=1)
+    parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None)
+    parser.add_argument("--placement", choices=PLACEMENT_NAMES, default=None)
+    parser.add_argument("--clock", choices=CLOCK_NAMES, default=None)
+
+
+def spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec(
+        matrices=list(args.matrix), methods=list(args.methods),
+        rates=list(args.rates), repetitions=args.trials, seed=args.seed,
+        knobs=SolverKnobs(tolerance=args.tolerance,
+                          max_iterations=args.max_iterations,
+                          page_size=args.page_size,
+                          preconditioned=args.preconditioned,
+                          backend=args.backend, ranks=args.ranks,
+                          scheduler=args.scheduler,
+                          placement=args.placement, clock=args.clock),
+        name="service-cli")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Run the campaign daemon in the foreground.")
+    parser.add_argument("--host", default=None,
+                        help=f"bind address (default: REPRO_SERVICE_HOST "
+                             f"or {default_host()})")
+    parser.add_argument("--port", type=int, default=None,
+                        help=f"bind port, 0 = ephemeral (default: "
+                             f"REPRO_SERVICE_PORT or {default_port()})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-thread count (default: all cores, "
+                             "capped by REPRO_MAX_WORKERS)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed store directory (default: "
+                             "REPRO_CAMPAIGN_STORE or "
+                             "~/.cache/repro-campaign)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="serve from the in-memory warm cache only; "
+                             "nothing persists across daemon restarts")
+    return parser
+
+
+def main_serve(argv) -> int:
+    args = build_serve_parser().parse_args(argv)
+    store = None
+    if not args.no_store:
+        try:
+            store = CampaignStore(args.store if args.store is not None
+                                  else default_store_root())
+        except StoreSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        service = CampaignService(host=args.host, port=args.port,
+                                  workers=args.workers, store=store)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service.start()
+    print(f"campaign service listening on {service.url()} "
+          f"({service.workers} workers, "
+          f"store={store.root if store else 'none (RAM only)'})",
+          flush=True)
+    service.serve_forever()
+    print("campaign service stopped")
+    return 0
+
+
+def _print_status(status: dict) -> None:
+    line = (f"{status['id']}: {status['state']} "
+            f"[{status['completed']}/{status['total']}] "
+            f"cached={status['cached']} executed={status['executed']}")
+    if status.get("shard_retries"):
+        line += f" shard-retries={status['shard_retries']}"
+    if status.get("fingerprint"):
+        line += f"\n  fingerprint: {status['fingerprint']}"
+    if status.get("error"):
+        line += f"\n  error: {status['error']}"
+    print(line)
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("event")
+    if kind == "trial":
+        status = "ok" if event.get("converged") else "DIVERGED"
+        origin = "cache" if event.get("cached") else "run"
+        print(f"  [{event['completed']}/{event['total']}] "
+              f"{event['matrix']} {event['method']} "
+              f"rate={event['rate']:g} rep={event['repetition']}: "
+              f"{status} ({event['iterations']} it, {origin})")
+    elif kind == "start":
+        print(f"start: {event['total']} trial(s), {event['cached']} cached, "
+              f"{event['pending']} pending over {event['shards']} shard(s)")
+    elif kind == "shard-retry":
+        print(f"shard {event['shard']} retry #{event['attempt']}: "
+              f"{event.get('reason', '')}")
+    elif kind == "done":
+        print(f"done: executed={event['executed']} cached={event['cached']} "
+              f"wall={event.get('wall_s', 0):g}s")
+        print(f"fingerprint: {event['fingerprint']}")
+    elif kind in ("failed", "cancelled"):
+        print(f"{kind}: {event.get('error') or ''}".rstrip(": "))
+    elif kind == "queued":
+        print(f"queued: job {event.get('job')} "
+              f"(spec key {event.get('spec_key', '')[:12]})")
+
+
+def main_submit(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service submit",
+        description="Submit a campaign to the daemon.")
+    add_client_arguments(parser)
+    add_spec_arguments(parser)
+    parser.add_argument("--watch", action="store_true",
+                        help="stream the job's progress until it finishes")
+    args = parser.parse_args(argv)
+    try:
+        spec = spec_from_args(args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    job = client.submit(spec)
+    print(f"submitted: {job['id']} ({job['total']} trials, "
+          f"spec key {job['spec_key'][:12]})")
+    if not args.watch:
+        return 0
+    final = None
+    for event in client.watch(job["id"]):
+        _print_event(event)
+        final = event
+    return 0 if final is not None and final.get("event") == "done" else 1
+
+
+def main_status(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service status",
+        description="Show one job's status, or all jobs.")
+    add_client_arguments(parser)
+    parser.add_argument("job", nargs="?", default=None)
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url)
+    if args.job is not None:
+        _print_status(client.status(args.job))
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for status in jobs:
+        _print_status(status)
+    return 0
+
+
+def main_watch(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service watch",
+        description="Stream a job's progress events (chunked JSONL).")
+    add_client_arguments(parser)
+    parser.add_argument("job")
+    parser.add_argument("--raw", action="store_true",
+                        help="print the JSONL lines instead of a summary")
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url)
+    final = None
+    for event in client.watch(args.job):
+        if args.raw:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        else:
+            _print_event(event)
+        final = event
+    return 0 if final is not None and final.get("event") == "done" else 1
+
+
+def main_cancel(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service cancel",
+        description="Cancel a queued or running job.")
+    add_client_arguments(parser)
+    parser.add_argument("job")
+    args = parser.parse_args(argv)
+    _print_status(ServiceClient(args.url).cancel(args.job))
+    return 0
+
+
+def main_shutdown(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service shutdown",
+        description="Shut the daemon down (drains by default).")
+    add_client_arguments(parser)
+    parser.add_argument("--now", action="store_true",
+                        help="cancel in-flight jobs instead of draining")
+    args = parser.parse_args(argv)
+    response = ServiceClient(args.url).shutdown(drain=not args.now)
+    print(f"shutting down (drain={response['drain']})")
+    return 0
+
+
+def main_metrics(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service metrics",
+        description="Print the daemon's /metrics payload as JSON.")
+    add_client_arguments(parser)
+    args = parser.parse_args(argv)
+    metrics = ServiceClient(args.url).metrics()
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    handlers = {
+        "serve": main_serve, "submit": main_submit, "status": main_status,
+        "watch": main_watch, "cancel": main_cancel,
+        "shutdown": main_shutdown, "metrics": main_metrics,
+    }
+    handler = handlers.get(command)
+    if handler is None:
+        print(f"error: unknown subcommand {command!r}; expected one of "
+              f"{', '.join(SUBCOMMANDS)}", file=sys.stderr)
+        return 2
+    try:
+        return handler(rest)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
