@@ -87,7 +87,7 @@ def test_pool_statistics_byte_identical(serial_run, pool_run):
     pool_result, _, _ = pool_run
     assert pool_result.fingerprint() == serial_result.fingerprint()
     for a, b in zip(serial_result.sorted_trials(),
-                    pool_result.sorted_trials()):
+                    pool_result.sorted_trials(), strict=True):
         assert a.solve_time == b.solve_time
         assert a.iterations == b.iterations
         assert a.faults_injected == b.faults_injected

@@ -33,7 +33,7 @@ def ascii_plot(result, width: int = 72, height: int = 18) -> str:
     y_max = max(lr.max() for _, lr in curves.values())
     grid = [[" "] * width for _ in range(height)]
     for method, (times, logres) in curves.items():
-        for t, y in zip(times, logres):
+        for t, y in zip(times, logres, strict=True):
             col = min(width - 1, int(t / t_max * (width - 1)))
             row = min(height - 1,
                       int((y_max - y) / max(y_max - y_min, 1e-12) * (height - 1)))

@@ -64,7 +64,7 @@ class ResidualHistory:
 
     def time_to_reach(self, threshold: float) -> Optional[float]:
         """Earliest recorded time at which the residual dropped below ``threshold``."""
-        for t, r in zip(self.times, self.residuals):
+        for t, r in zip(self.times, self.residuals, strict=True):
             if r <= threshold:
                 return t
         return None

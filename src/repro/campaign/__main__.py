@@ -167,6 +167,10 @@ def build_store_parser() -> argparse.ArgumentParser:
                         help=f"gc age threshold in days (default "
                              f"{GC_DEFAULT_DAYS}; reads refresh an entry's "
                              f"age)")
+    parser.add_argument("--now", type=float, default=None, metavar="EPOCH",
+                        help="with --gc: epoch seconds to treat as the "
+                             "current time (default: the wall clock); "
+                             "makes cutoff behaviour reproducible")
     return parser
 
 
@@ -297,7 +301,7 @@ def main_store(argv) -> int:
         corrupt_found = not report.ok
     if args.gc:
         try:
-            removed, kept = store.gc(days=args.days)
+            removed, kept = store.gc(days=args.days, now=args.now)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -145,6 +145,7 @@ class CampaignStore:
                     f"v{STORE_SCHEMA_VERSION}; delete the directory or "
                     f"point {STORE_ENV} at a fresh one")
             return
+        # repro-lint: allow[unordered-iter] emptiness probe, order never observed
         if self.root.exists() and any(self.root.iterdir()):
             raise StoreSchemaError(
                 f"directory {self.root} exists, is not empty and has no "
@@ -156,7 +157,7 @@ class CampaignStore:
         (self.root / "journals").mkdir(exist_ok=True)
         self._atomic_write_text(
             self._schema_path,
-            json.dumps({"schema": STORE_SCHEMA_VERSION}) + "\n")
+            json.dumps({"schema": STORE_SCHEMA_VERSION}, sort_keys=True) + "\n")
 
     # ------------------------------------------------------------------
     # low-level helpers
@@ -406,10 +407,10 @@ class CampaignStore:
         counts = {}
         for kind in _KINDS:
             base = self.root / kind
-            counts[kind] = sum(1 for _ in base.glob("*/*")) \
+            counts[kind] = sum(1 for _ in sorted(base.glob("*/*"))) \
                 if base.exists() else 0
         counts["journals"] = sum(
-            1 for _ in (self.root / "journals").glob("*.jsonl")) \
+            1 for _ in sorted((self.root / "journals").glob("*.jsonl"))) \
             if (self.root / "journals").exists() else 0
         return counts
 
@@ -424,6 +425,7 @@ class CampaignStore:
         """
         if days < 0:
             raise ValueError(f"gc age must be non-negative, got {days}")
+        # repro-lint: allow[wall-clock] gc cutoff default; callers/CLI pass now= for determinism
         cutoff = (now if now is not None else time.time()) - days * 86400.0
         removed = kept = 0
         for kind in (*_KINDS, "journals"):
@@ -431,7 +433,7 @@ class CampaignStore:
             if not base.exists():
                 continue
             pattern = "*.jsonl" if kind == "journals" else "*/*"
-            for path in base.glob(pattern):
+            for path in sorted(base.glob(pattern)):
                 try:
                     if path.stat().st_mtime < cutoff:
                         path.unlink()
@@ -472,7 +474,7 @@ class CampaignStore:
             with np.load(path) as archive:
                 names = set(archive.files)
                 for name in names:
-                    archive[name]  # force decompression => zip CRC check
+                    _ = archive[name]  # force decompression => zip CRC check
                 key = str(archive["key"]) if "key" in names else None
         except Exception as exc:  # noqa: BLE001 - any load failure = corrupt
             return "corrupt", f"unreadable npz: {exc}"

@@ -114,7 +114,7 @@ class ExponentialInjector:
         times = self.sample_times(horizon)
         picks = self._rng.integers(0, len(pages), size=len(times))
         return [Injection(time=t, vector=pages[int(k)][0], page=pages[int(k)][1])
-                for t, k in zip(times, picks)]
+                for t, k in zip(times, picks, strict=True)]
 
     def expected_errors(self, horizon: float) -> float:
         """Expected number of errors over ``horizon``."""

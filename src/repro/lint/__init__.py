@@ -1,0 +1,54 @@
+"""``repro.lint``: determinism & concurrency static analysis.
+
+The repo's central correctness invariant — byte-identical campaign
+fingerprints and bit-identical solves across every
+(scheduler x placement x clock) runtime cell — is enforced dynamically
+by the equivalence suites.  This package enforces the *hazard patterns*
+behind most violations statically, at lint time:
+
+========================  ==============================================
+code                      what it catches
+========================  ==============================================
+``wall-clock``            reading the wall clock outside the sanctioned
+                          measurement modules (simulated-clock code must
+                          never observe real time)
+``unseeded-rng``          RNG streams not derived from the campaign's
+                          ``SeedSequence`` tree via
+                          :func:`repro.faults.injector.derive_rng`
+``unordered-iter``        iteration whose order the runtime does not
+                          guarantee (sets, unsorted directory listings)
+                          inside fingerprint-critical modules
+``paged-reduction``       raw NumPy reductions in solver/kernel modules
+                          that bypass the page-ordered ``paged_dot`` path
+``lock-discipline``       lock-order cycles (potential deadlock) and
+                          bare ``.acquire()`` without ``with``/finally
+========================  ==============================================
+
+Findings are suppressible only via justified inline pragmas::
+
+    t0 = time.perf_counter()  # repro-lint: allow[wall-clock] measured wall interval, not a clock decision
+
+Run it with ``python -m repro.lint src/ tests/``; ``--explain CODE``
+documents each rule, ``--format json`` emits machine-readable findings.
+
+The dynamic counterpart for *executed* task graphs is
+:func:`repro.runtime.graph.verify_graph` — a structural happens-before
+check (set ``REPRO_VERIFY_GRAPHS=1`` to run it inside both execution
+backends).
+"""
+
+from repro.lint.engine import FileContext, LintResult, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.pragmas import PragmaSheet
+from repro.lint.checkers import ALL_CHECKERS, checker_for_code
+
+__all__ = [
+    "ALL_CHECKERS",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "PragmaSheet",
+    "checker_for_code",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,38 @@
+"""Checker registry."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lint.base import Checker
+from repro.lint.checkers.locks import LockChecker
+from repro.lint.checkers.ordering import OrderingChecker
+from repro.lint.checkers.reductions import ReductionChecker
+from repro.lint.checkers.rng import RngChecker
+from repro.lint.checkers.wall_clock import WallClockChecker
+
+ALL_CHECKERS: List[Checker] = [
+    WallClockChecker(),
+    RngChecker(),
+    OrderingChecker(),
+    ReductionChecker(),
+    LockChecker(),
+]
+
+
+def checker_for_code(code: str) -> Optional[Checker]:
+    for checker in ALL_CHECKERS:
+        if checker.code == code:
+            return checker
+    return None
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "LockChecker",
+    "OrderingChecker",
+    "ReductionChecker",
+    "RngChecker",
+    "WallClockChecker",
+    "checker_for_code",
+]

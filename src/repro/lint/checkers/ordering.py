@@ -1,0 +1,141 @@
+"""unordered-iter: order-unstable iteration in fingerprint-critical modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.findings import Finding
+
+#: Modules whose iteration order feeds content tokens, store keys, or
+#: aggregated fingerprints.  Everywhere else, iteration order is a local
+#: concern and the rule stays quiet.
+FINGERPRINT_MODULES = (
+    "repro/campaign/results.py",
+    "repro/campaign/store.py",
+    "repro/campaign/spec.py",
+    "repro/service/protocol.py",
+)
+
+#: Callables returning filesystem listings in OS-dependent order.
+FS_LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+#: pathlib methods with the same problem (matched by attribute name since
+#: the receiver's type is not statically known).
+FS_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+def _iteration_sites(tree: ast.AST) -> Iterator[ast.AST]:
+    """Expressions whose iteration order is observed."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub)):
+        # set algebra: `a | b`, `a & b`, `a - b` over sets is the common case
+        # in these modules; only flag when one side is syntactically a set.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class OrderingChecker(Checker):
+    code = "unordered-iter"
+    title = "no order-unstable iteration in fingerprint-critical modules"
+    rationale = """\
+Campaign fingerprints hash an ordered stream of content tokens, and the
+content-addressed store derives keys from serialized specs.  In the
+modules that build those streams (campaign/results.py, campaign/store.py,
+campaign/spec.py, service/protocol.py) any iteration whose order the
+runtime does not guarantee can silently reorder tokens:
+
+  * iterating a set or set-expression (hash-order, salted per process);
+  * iterating os.listdir / glob / Path.glob / iterdir results
+    (filesystem-order, differs across OSes and even runs);
+  * iterating `d.keys()` without sorted() — explicit `.keys()` at an
+    iteration site signals the author cares about key order, so make
+    that order deterministic;
+  * json.dumps without sort_keys=True (insertion-order keys).
+
+Fix by sorting at the iteration site (`sorted(...)`) or serializing with
+`sort_keys=True`.  Plain dict iteration is allowed (insertion order is
+defined); the rule flags the patterns with no *guaranteed* stable order.
+If order provably cannot reach a fingerprint, say why:
+
+    for p in tmp.glob("*.part"):  # repro-lint: allow[unordered-iter] files are deleted, never hashed"""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module_is(*FINGERPRINT_MODULES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for site in _iteration_sites(ctx.tree):
+            if _is_set_expr(site):
+                yield ctx.finding(
+                    site,
+                    self.code,
+                    "iterating a set in a fingerprint-critical module; hash order is "
+                    "salted per process — wrap in `sorted(...)`",
+                )
+            elif (
+                isinstance(site, ast.Call)
+                and isinstance(site.func, ast.Attribute)
+                and site.func.attr == "keys"
+                and not site.args
+                and not site.keywords
+            ):
+                yield ctx.finding(
+                    site,
+                    self.code,
+                    "iterating `.keys()` unsorted in a fingerprint-critical module; "
+                    "use `sorted(d)` to pin the key order",
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.resolve_call(node)
+            if qualified == "json.dumps":
+                if not any(
+                    kw.arg == "sort_keys"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in node.keywords
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "`json.dumps` without `sort_keys=True` in a fingerprint-critical "
+                        "module; key order would leak insertion order into hashed bytes",
+                    )
+                continue
+            is_listing = qualified in FS_LISTING_CALLS or (
+                qualified is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in FS_LISTING_METHODS
+            )
+            if is_listing and not self._directly_sorted(ctx, node):
+                name = qualified or node.func.attr + "(...)"
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"unsorted filesystem listing `{name}` in a fingerprint-critical "
+                    "module; directory order is OS-dependent — wrap in `sorted(...)`",
+                )
+
+    @staticmethod
+    def _directly_sorted(ctx: FileContext, node: ast.Call) -> bool:
+        parent = ctx.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+        )

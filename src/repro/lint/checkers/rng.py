@@ -1,0 +1,146 @@
+"""unseeded-rng: all randomness must flow from the SeedSequence tree."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.findings import Finding
+
+#: Legacy numpy global-state API: both the implicit global RandomState
+#: draws and the global seed/set_state mutators.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "exponential",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "lognormal",
+        "laplace",
+    }
+)
+
+#: The one module allowed to call ``np.random.default_rng`` directly: it
+#: defines ``derive_rng``, the sanctioned construction point.
+RNG_FACTORY_MODULES = ("repro/faults/injector.py",)
+
+
+def _is_none_or_missing(call: ast.Call) -> bool:
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return len(call.args) == 1 and isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+
+
+class RngChecker(Checker):
+    code = "unseeded-rng"
+    title = "RNG streams must derive from SeedSequence via faults.injector.derive_rng"
+    rationale = """\
+Campaign reproducibility rests on a single SeedSequence tree: the
+campaign seed spawns per-trial sequences, which spawn per-component
+streams.  Three patterns break that chain:
+
+  * np.random.default_rng() with no argument — entropy from the OS, a
+    different stream every run;
+  * legacy global-state calls (np.random.seed / .normal / .shuffle ...)
+    — one hidden global stream, order-dependent across threads and
+    call sites;
+  * the stdlib `random` module — another hidden global stream.
+
+Library code under src/repro must construct generators through
+repro.faults.injector.derive_rng(seed), which accepts ints, SeedSequence,
+or an existing Generator and is the only sanctioned default_rng call
+site.  Tests may call np.random.default_rng(seed) directly when seeded.
+Deliberate global-state perturbation in a test fixture needs a pragma:
+
+    # repro-lint: allow[unseeded-rng] deliberately perturb global state to prove independence
+    np.random.seed(0)"""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_random_module(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.resolve_call(node)
+            if qualified is None:
+                continue
+            if qualified == "numpy.random.default_rng":
+                if _is_none_or_missing(node):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "unseeded `np.random.default_rng()` draws OS entropy; derive the "
+                        "stream from the campaign SeedSequence via "
+                        "`repro.faults.injector.derive_rng`",
+                    )
+                elif not ctx.is_relaxed and not ctx.module_is(*RNG_FACTORY_MODULES):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "direct `np.random.default_rng(seed)` in library code; route "
+                        "through `repro.faults.injector.derive_rng` so all streams share "
+                        "one construction point",
+                    )
+            elif qualified == "numpy.random.RandomState":
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "legacy `np.random.RandomState`; use "
+                    "`repro.faults.injector.derive_rng` (PCG64 Generator) instead",
+                )
+            else:
+                parts = qualified.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] == "numpy"
+                    and parts[1] == "random"
+                    and parts[2] in LEGACY_NP_RANDOM
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"legacy global-state `np.random.{parts[2]}()` call; global RNG "
+                        "state is order-dependent across threads — derive an explicit "
+                        "Generator via `repro.faults.injector.derive_rng`",
+                    )
+
+    def _check_random_module(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            "stdlib `random` module uses hidden global state; derive a "
+                            "numpy Generator via `repro.faults.injector.derive_rng`",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "stdlib `random` module uses hidden global state; derive a "
+                        "numpy Generator via `repro.faults.injector.derive_rng`",
+                    )

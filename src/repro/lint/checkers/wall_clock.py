@@ -1,0 +1,79 @@
+"""wall-clock: real-time reads are forbidden outside sanctioned modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.findings import Finding
+
+FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules whose whole purpose is wall-clock interaction (the network
+#: daemon and its client: socket timeouts, poll loops, request deadlines).
+#: Measurement paths elsewhere (campaign wall_time, threaded-backend
+#: latency probes) instead carry per-site ``allow[wall-clock]`` pragmas so
+#: each real-time read is individually justified in the source.
+ALLOWLIST_MODULES = (
+    "repro/service/server.py",
+    "repro/service/client.py",
+    "repro/service/__main__.py",
+)
+
+
+class WallClockChecker(Checker):
+    code = "wall-clock"
+    title = "no wall-clock reads outside sanctioned wall-clock modules"
+    rationale = """\
+Solver iterates, campaign fingerprints, and stored results must be
+byte-identical across the (scheduler x placement x clock) runtime matrix.
+Any code that reads the real clock — time.time(), perf_counter(),
+datetime.now() — can leak wall time into decisions or persisted payloads,
+breaking that invariant in ways the equivalence suites only catch after
+the fact.  Deterministic code must take time from the simulated clock
+(`repro.runtime`) or accept a `now=` parameter.
+
+Exempt by module allowlist: repro/service/server.py and client.py (the
+network daemon is inherently wall-clock: socket timeouts, poll loops).
+Measurement-only sites (trial wall_time, thread latency probes) must be
+annotated per call site:
+
+    t0 = perf_counter()  # repro-lint: allow[wall-clock] measured wall interval, reported not fingerprinted
+
+Tests, benchmarks, and examples are exempt wholesale."""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.is_relaxed:
+            return False
+        return not ctx.module_is(*ALLOWLIST_MODULES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.resolve_call(node)
+            if qualified in FORBIDDEN_CALLS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"wall-clock read `{qualified}()` outside the wall-clock module "
+                    "allowlist; use the simulated clock, accept `now=`, or justify "
+                    "with `# repro-lint: allow[wall-clock] <reason>`",
+                )

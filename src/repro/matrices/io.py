@@ -38,7 +38,7 @@ def write_matrix_market(A: sp.spmatrix, path: PathLike,
         else:
             rows, cols, vals = A.row, A.col, A.data
         fh.write(f"{A.shape[0]} {A.shape[1]} {len(vals)}\n")
-        for r, c, v in zip(rows, cols, vals):
+        for r, c, v in zip(rows, cols, vals, strict=True):
             fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
 
 

@@ -6,6 +6,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.config import DEFAULT_SEED
+from repro.faults.injector import derive_rng
 
 
 def random_sparse_spd(n: int, density: float = 0.01, *,
@@ -24,7 +25,7 @@ def random_sparse_spd(n: int, density: float = 0.01, *,
         raise ValueError("density must be in (0, 1]")
     if condition_boost <= 0:
         raise ValueError("condition_boost must be positive")
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     nnz = max(n, int(density * n * n))
     rows = rng.integers(0, n, size=nnz)
     cols = rng.integers(0, n, size=nnz)
@@ -51,7 +52,7 @@ def random_dense_spd(n: int, condition: float = 100.0,
         raise ValueError("n must be positive")
     if condition < 1:
         raise ValueError("condition must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
     eigenvalues = np.logspace(0.0, np.log10(condition), n)
     return (Q * eigenvalues) @ Q.T

@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.faults.injector import derive_rng
+
 
 def _grid_index(nx: int, ny: int, nz: int):
     """Linear index array for an ``nx*ny*nz`` grid (x fastest)."""
@@ -102,7 +104,7 @@ def stencil_rhs(A: sp.spmatrix, kind: str = "ones", seed: int = 0) -> np.ndarray
     if kind == "ones":
         x_star = np.ones(n)
     elif kind == "random":
-        rng = np.random.default_rng(seed)
+        rng = derive_rng(seed)
         x_star = rng.standard_normal(n)
         x_star /= np.linalg.norm(x_star)
     else:

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.faults.injector import derive_rng
 from repro.matrices.laplacian import graph_laplacian, laplacian_2d, laplacian_3d
 from repro.matrices.stencil import poisson_2d_5pt, poisson_3d_7pt, poisson_3d_27pt
 
@@ -73,7 +74,7 @@ def _cfd2_like() -> sp.csr_matrix:
     """CFD pressure-matrix-like: 3-D 7-point Laplacian with mild random
     symmetric perturbation of the couplings."""
     A = poisson_3d_7pt(17, 17, 17).tolil()
-    rng = np.random.default_rng(1202)
+    rng = derive_rng(1202)
     A = A.tocsr()
     noise = sp.random(A.shape[0], A.shape[0], density=5e-4, random_state=rng,
                       data_rvs=lambda k: -0.1 * rng.random(k))
@@ -118,7 +119,7 @@ def _thermal2_like() -> sp.csr_matrix:
     slowest-converging matrix in the paper's set)."""
     nx, ny = 96, 43
     grid = laplacian_2d(nx, ny, shift=0.0)
-    rng = np.random.default_rng(77)
+    rng = derive_rng(77)
     n = grid.shape[0]
     extra = sp.random(n, n, density=3e-4, random_state=rng,
                       data_rvs=lambda k: rng.random(k))

@@ -49,7 +49,9 @@ from repro.runtime.runtime import (CLOCK_NAMES, PLACEMENT_NAMES, Runtime,
                                    RuntimeSpec, SCHEDULER_NAMES,
                                    make_runtime, resolve_runtime_spec)
 from repro.runtime.cost_model import CostModel
-from repro.runtime.graph import TaskGraph
+from repro.runtime.graph import (GraphRace, GraphRaceError, TaskGraph,
+                                 VERIFY_GRAPHS_ENV, find_races,
+                                 verification_enabled, verify_graph)
 from repro.runtime.scheduler import ListScheduler, ScheduleResult
 from repro.runtime.task import Task, TaskKind
 from repro.runtime.trace import ExecutionTrace, StateBreakdown
@@ -62,6 +64,8 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionResult",
     "ExecutionTrace",
+    "GraphRace",
+    "GraphRaceError",
     "KernelEngine",
     "ListScheduler",
     "LocalKernelEngine",
@@ -77,11 +81,15 @@ __all__ = [
     "TaskGraph",
     "TaskKind",
     "ThreadedBackend",
+    "VERIFY_GRAPHS_ENV",
     "VulnerableWindowMonitor",
     "WallInterval",
     "make_backend",
     "make_kernel_engine",
+    "find_races",
     "make_runtime",
     "paged_dot",
     "resolve_runtime_spec",
+    "verification_enabled",
+    "verify_graph",
 ]

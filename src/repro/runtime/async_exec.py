@@ -43,7 +43,7 @@ from repro.config import resolve_worker_count
 from repro.runtime.backend import (ExecutionBackend, ExecutionResult,
                                    WallInterval)
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.runtime.graph import TaskGraph
+from repro.runtime.graph import TaskGraph, maybe_verify_graph
 
 
 class PageLockTable:
@@ -313,6 +313,7 @@ class ThreadedBackend(ExecutionBackend):
         schedule per iteration here would double the campaign cost.
         """
         graph.validate()
+        maybe_verify_graph(graph)  # opt-in REPRO_VERIFY_GRAPHS=1 assertion
         state = self._execute(graph)
         wall_time = 0.0
         if state.intervals:
@@ -361,7 +362,7 @@ class ThreadedBackend(ExecutionBackend):
                     heapq.heappush(state.ready,
                                    (-tasks[name].priority, state.seq, name))
                     state.seq += 1
-            state.t0 = time.perf_counter()
+            state.t0 = time.perf_counter()  # repro-lint: allow[wall-clock] wall-interval origin for the overlap monitor, never fingerprinted
             total = len(tasks)
             if total == 0:
                 return state
@@ -399,22 +400,22 @@ class ThreadedBackend(ExecutionBackend):
                 with self.page_locks.holding(task.page):
                     # The interval starts once the page lock is held, so
                     # lock-wait time is not mistaken for concurrent work.
-                    began = time.perf_counter() - state.t0
+                    began = time.perf_counter() - state.t0  # repro-lint: allow[wall-clock] measured task interval, reported not fingerprinted
                     try:
                         if task.action is not None:
                             value = task.action()
                         if self.pace > 0.0 and task.duration > 0.0:
                             budget = task.duration * self.pace
-                            remaining = budget - (time.perf_counter()
+                            remaining = budget - (time.perf_counter()  # repro-lint: allow[wall-clock] pacing only shapes wall intervals, not iterates
                                                   - state.t0 - began)
                             if remaining > 0:
                                 time.sleep(remaining)
                     finally:
-                        ended = time.perf_counter() - state.t0
+                        ended = time.perf_counter() - state.t0  # repro-lint: allow[wall-clock] measured task interval, reported not fingerprinted
             except BaseException as exc:  # propagate to the caller
                 error = exc
             if began is None or ended is None:
-                began = ended = time.perf_counter() - state.t0
+                began = ended = time.perf_counter() - state.t0  # repro-lint: allow[wall-clock] measured task interval, reported not fingerprinted
             with self._cond:
                 state.intervals[name] = WallInterval(start=began, end=ended,
                                                      worker=idx)

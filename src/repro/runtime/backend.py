@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.runtime.graph import TaskGraph
+from repro.runtime.graph import TaskGraph, maybe_verify_graph
 from repro.runtime.scheduler import ListScheduler, ScheduleResult
 from repro.runtime.task import TaskKind
 from repro.runtime.trace import StateBreakdown
@@ -254,6 +254,7 @@ class SimulatedBackend(ExecutionBackend):
 
     def run(self, graph: TaskGraph, start_time: float = 0.0
             ) -> ExecutionResult:
+        maybe_verify_graph(graph)  # opt-in REPRO_VERIFY_GRAPHS=1 assertion
         schedule = self.scheduler.run(graph, start_time=start_time,
                                       execute_actions=True)
         # wall_time stays 0.0: nothing executed concurrently, so there
@@ -274,16 +275,17 @@ class SimulatedBackend(ExecutionBackend):
         its timing is discarded (``result.schedule`` stays ``None``).
         """
         graph.validate()
+        maybe_verify_graph(graph)  # opt-in REPRO_VERIFY_GRAPHS=1 assertion
         order = self.simulate(graph).order_started()
         tasks = {t.name: t for t in graph.tasks}
         intervals: Dict[str, WallInterval] = {}
         values: Dict[str, object] = {}
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro-lint: allow[wall-clock] measured serial intervals, reported not fingerprinted
         for name in order:
             action = tasks[name].action
-            began = time.perf_counter() - t0
+            began = time.perf_counter() - t0  # repro-lint: allow[wall-clock] measured serial intervals, reported not fingerprinted
             value = action() if action is not None else None
-            ended = time.perf_counter() - t0
+            ended = time.perf_counter() - t0  # repro-lint: allow[wall-clock] measured serial intervals, reported not fingerprinted
             intervals[name] = WallInterval(start=began, end=ended, worker=0)
             values[name] = value
         wall_time = (max(i.end for i in intervals.values())

@@ -1,11 +1,25 @@
-"""Task graphs: tasks plus data-flow dependencies."""
+"""Task graphs: tasks plus data-flow dependencies.
+
+Besides construction and scheduling helpers, this module hosts the
+structural happens-before verifier (:func:`verify_graph`): every pair of
+tasks whose declared resource sets conflict (write/write or read/write
+on the same page or vector segment) must be ordered by a dependency
+path, otherwise the schedule is free to race them.  Set
+``REPRO_VERIFY_GRAPHS=1`` to run the check inside both execution
+backends on every executed graph.
+"""
 
 from __future__ import annotations
 
+import os
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.runtime.task import Task, TaskKind
+
+#: Opt-in switch for the runtime happens-before assertion.
+VERIFY_GRAPHS_ENV = "REPRO_VERIFY_GRAPHS"
 
 
 class TaskGraph:
@@ -30,11 +44,14 @@ class TaskGraph:
     def add_task(self, name: str, duration: float, *,
                  kind: TaskKind = TaskKind.COMPUTE, priority: int = 0,
                  deps: Iterable[str] = (), action=None,
-                 page: Optional[int] = None) -> Task:
+                 page: Optional[int] = None,
+                 reads: Iterable[str] = (),
+                 writes: Iterable[str] = ()) -> Task:
         """Convenience constructor + insert."""
         task = Task(name=name, duration=duration, kind=kind,
                     priority=priority, action=action, page=page,
-                    deps=list(deps))
+                    deps=list(deps), reads=frozenset(reads),
+                    writes=frozenset(writes))
         return self.add(task)
 
     def task(self, name: str) -> Task:
@@ -126,3 +143,110 @@ class TaskGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskGraph(tasks={len(self._tasks)})"
+
+
+# ----------------------------------------------------------------------
+# structural happens-before verification
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphRace:
+    """An unordered conflicting pair found by :func:`find_races`."""
+
+    task_a: str
+    task_b: str
+    resource: str
+    access: str  # "write/write" or "read/write"
+
+    def __str__(self) -> str:
+        return (f"{self.access} conflict on {self.resource!r} between "
+                f"{self.task_a!r} and {self.task_b!r} with no dependency path")
+
+
+class GraphRaceError(ValueError):
+    """Raised by :func:`verify_graph` when conflicting tasks are unordered."""
+
+    def __init__(self, races: List[GraphRace]) -> None:
+        self.races = list(races)
+        head = "; ".join(str(r) for r in self.races[:3])
+        more = f" (+{len(self.races) - 3} more)" if len(self.races) > 3 else ""
+        super().__init__(
+            f"task graph has {len(self.races)} unordered conflicting "
+            f"pair(s): {head}{more}")
+
+
+def find_races(graph: TaskGraph) -> List[GraphRace]:
+    """All conflicting task pairs not ordered by a dependency path.
+
+    Two tasks conflict when they touch the same declared resource (see
+    :class:`~repro.runtime.task.Task`) and at least one writes it.  The
+    check is *structural*: it inspects the DAG only, so it is
+    scheduler-independent — if a pair is unordered here, some interleaving
+    of some backend can race it, even if today's schedules happen not to.
+    Tasks that declare no resources (and no page) are exempt; AFEIR's
+    read-only recovery probes deliberately overlap the reduction.
+    """
+    graph.validate()
+    order = graph.topological_order()
+    index = {name: i for i, name in enumerate(order)}
+    # ancestor bitsets: anc[i] has bit j set iff task j precedes task i
+    anc: List[int] = [0] * len(order)
+    for name in order:
+        i = index[name]
+        mask = 0
+        for dep in graph.task(name).deps:
+            j = index[dep]
+            mask |= anc[j] | (1 << j)
+        anc[i] = mask
+
+    def ordered(a: str, b: str) -> bool:
+        i, j = index[a], index[b]
+        return bool(anc[i] >> j & 1) or bool(anc[j] >> i & 1)
+
+    readers: Dict[str, List[str]] = {}
+    writers: Dict[str, List[str]] = {}
+    for task in graph.tasks:
+        for res in task.reads:
+            readers.setdefault(res, []).append(task.name)
+        for res in task.resources_written():
+            writers.setdefault(res, []).append(task.name)
+
+    races: List[GraphRace] = []
+    seen: set = set()
+
+    def report(a: str, b: str, resource: str, access: str) -> None:
+        a, b = sorted((a, b))
+        key = (a, b, resource)
+        if key not in seen:
+            seen.add(key)
+            races.append(GraphRace(a, b, resource, access))
+
+    for resource, ws in writers.items():
+        for i, a in enumerate(ws):
+            for b in ws[i + 1:]:
+                if a != b and not ordered(a, b):
+                    report(a, b, resource, "write/write")
+            for b in readers.get(resource, ()):
+                if a != b and not ordered(a, b):
+                    report(a, b, resource, "read/write")
+    races.sort(key=lambda r: (r.resource, r.task_a, r.task_b))
+    return races
+
+
+def verify_graph(graph: TaskGraph) -> None:
+    """Raise :class:`GraphRaceError` if the graph has unordered conflicts."""
+    races = find_races(graph)
+    if races:
+        raise GraphRaceError(races)
+
+
+def verification_enabled() -> bool:
+    """True when ``REPRO_VERIFY_GRAPHS`` requests runtime verification."""
+    return os.environ.get(VERIFY_GRAPHS_ENV, "").strip().lower() not in (
+        "", "0", "false", "no")
+
+
+def maybe_verify_graph(graph: TaskGraph) -> None:
+    """Backend hook: verify only when the env knob is set."""
+    if verification_enabled():
+        verify_graph(graph)

@@ -43,11 +43,11 @@ def page_partials(u: np.ndarray, v: np.ndarray, page_size: int) -> np.ndarray:
     if full:
         prod = (u[:full].reshape(-1, page_size)
                 * v[:full].reshape(-1, page_size))
-        parts = np.add.reduce(prod, axis=1)
+        parts = np.add.reduce(prod, axis=1)  # repro-lint: allow[paged-reduction] this is the page-order primitive itself
     else:
         parts = np.zeros(0, dtype=np.float64)
     if full < n:
-        tail = np.add.reduce(u[full:] * v[full:])
+        tail = np.add.reduce(u[full:] * v[full:])  # repro-lint: allow[paged-reduction] this is the page-order primitive itself
         parts = np.concatenate([parts, [tail]])
     return parts
 
@@ -66,7 +66,7 @@ def reduce_partials(parts: np.ndarray,
     if skip:
         parts = parts.copy()
         parts[skip] = 0.0
-    return float(np.add.reduce(parts))
+    return float(np.add.reduce(parts))  # repro-lint: allow[paged-reduction] fixed-order combine over the page axis, the sanctioned primitive
 
 
 def paged_dot(u: np.ndarray, v: np.ndarray, page_size: int,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, FrozenSet, List, Optional
 
 
 class TaskKind(enum.Enum):
@@ -45,6 +45,16 @@ class Task:
         inspects the return value.
     page:
         Page index the task works on, if it is a per-page task.
+    reads / writes:
+        Declared resource access, for the structural happens-before
+        check (:func:`repro.runtime.graph.verify_graph`).  Resources are
+        opaque strings — vector segments (``"seg:g[2]"``), scalars
+        (``"scalar:alpha"``), reduction partials (``"part:rho[0]"``) —
+        and two tasks touching the same resource with at least one write
+        must be ordered by a dependency path.  A declared ``page`` also
+        counts as a write on ``"page:<n>"``.  Tasks that declare nothing
+        are exempt (e.g. read-only recovery probes that may deliberately
+        overlap the reduction).
     """
 
     name: str
@@ -54,10 +64,20 @@ class Task:
     action: Optional[Callable[[], None]] = None
     page: Optional[int] = None
     deps: List[str] = field(default_factory=list)
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ValueError(f"task {self.name!r} has negative duration")
+        self.reads = frozenset(self.reads)
+        self.writes = frozenset(self.writes)
+
+    def resources_written(self) -> FrozenSet[str]:
+        """Declared writes plus the implicit write on the task's page."""
+        if self.page is None:
+            return self.writes
+        return self.writes | {f"page:{self.page}"}
 
     def depends_on(self, *names: str) -> "Task":
         """Add dependencies and return self (builder style)."""

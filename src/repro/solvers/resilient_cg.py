@@ -665,14 +665,21 @@ class ResilientCG:
         if self.preconditioner is not None:
             for c, dur in enumerate(self._chunk_cost("precond")):
                 name = f"z{t}:{c}"
-                graph.add_task(name, dur, kind=TaskKind.COMPUTE)
+                graph.add_task(name, dur, kind=TaskKind.COMPUTE,
+                               reads={f"seg:g[{c}]"},
+                               writes={f"seg:z[{c}]"})
                 precond_names.append(name)
 
         # --- rho partial dots + r2 + scalar (beta task) ----------------------
         rho_parts: List[str] = []
         for c, dur in enumerate(self._chunk_cost("dot")):
             name = f"rho{t}:{c}"
-            graph.add_task(name, dur, kind=TaskKind.REDUCTION, deps=precond_names)
+            rho_reads = {f"seg:g[{c}]"}
+            if precond_names:
+                rho_reads.add(f"seg:z[{c}]")
+            graph.add_task(name, dur, kind=TaskKind.REDUCTION,
+                           deps=precond_names, reads=rho_reads,
+                           writes={f"part:rho[{c}]"})
             rho_parts.append(name)
         scalar_rho_deps = list(rho_parts)
         if resilient:
@@ -682,20 +689,29 @@ class ResilientCG:
                            priority=rec_priority, deps=r2_deps)
             scalar_rho_deps.append(f"r2_{t}")
         graph.add_task(f"beta{t}", cm.scalar_task(), kind=TaskKind.REDUCTION,
-                       deps=scalar_rho_deps)
+                       deps=scalar_rho_deps,
+                       reads={f"part:rho[{c}]" for c in range(len(rho_parts))},
+                       writes={"scalar:beta"})
 
         # --- d update ---------------------------------------------------------
         d_parts: List[str] = []
         for c, dur in enumerate(self._chunk_cost("axpy")):
             name = f"d{t}:{c}"
-            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=[f"beta{t}"])
+            d_reads = {"scalar:beta", f"seg:d[{c}]",
+                       f"seg:z[{c}]" if precond_names else f"seg:g[{c}]"}
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE,
+                           deps=[f"beta{t}"], reads=d_reads,
+                           writes={f"seg:d[{c}]"})
             d_parts.append(name)
 
         # --- q = A d (lattice: every chunk needs every d chunk) ---------------
         q_parts: List[str] = []
         for c, dur in enumerate(self._chunk_cost("spmv")):
             name = f"q{t}:{c}"
-            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=d_parts)
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=d_parts,
+                           reads={f"seg:d[{k}]"
+                                  for k in range(len(d_parts))},
+                           writes={f"seg:q[{c}]"})
             q_parts.append(name)
 
         # --- <d, q> partial dots + r1 + alpha ----------------------------------
@@ -703,7 +719,9 @@ class ResilientCG:
         for c, dur in enumerate(self._chunk_cost("dot")):
             name = f"dq{t}:{c}"
             graph.add_task(name, dur, kind=TaskKind.REDUCTION,
-                           deps=[f"q{t}:{c}"])
+                           deps=[f"q{t}:{c}"],
+                           reads={f"seg:d[{c}]", f"seg:q[{c}]"},
+                           writes={f"part:dq[{c}]"})
             dq_parts.append(name)
         scalar_alpha_deps = list(dq_parts)
         if resilient:
@@ -713,17 +731,27 @@ class ResilientCG:
                            priority=rec_priority, deps=r1_deps)
             scalar_alpha_deps.append(f"r1_{t}")
         graph.add_task(f"alpha{t}", cm.scalar_task(), kind=TaskKind.REDUCTION,
-                       deps=scalar_alpha_deps)
+                       deps=scalar_alpha_deps,
+                       reads={f"part:dq[{c}]" for c in range(len(dq_parts))},
+                       writes={"scalar:alpha"})
 
         # --- x and g updates ----------------------------------------------------
         update_parts: List[str] = []
         for c, dur in enumerate(self._chunk_cost("axpy")):
             name = f"x{t}:{c}"
-            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=[f"alpha{t}"])
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE,
+                           deps=[f"alpha{t}"],
+                           reads={"scalar:alpha", f"seg:d[{c}]",
+                                  f"seg:x[{c}]"},
+                           writes={f"seg:x[{c}]"})
             update_parts.append(name)
         for c, dur in enumerate(self._chunk_cost("axpy")):
             name = f"g{t}:{c}"
-            graph.add_task(name, dur, kind=TaskKind.COMPUTE, deps=[f"alpha{t}"])
+            graph.add_task(name, dur, kind=TaskKind.COMPUTE,
+                           deps=[f"alpha{t}"],
+                           reads={"scalar:alpha", f"seg:q[{c}]",
+                                  f"seg:g[{c}]"},
+                           writes={f"seg:g[{c}]"})
             update_parts.append(name)
         if resilient:
             r3_deps = update_parts if critical else [f"alpha{t}"]
@@ -736,7 +764,10 @@ class ResilientCG:
             volume = (self.strategy.checkpoint_bytes(self.n)
                       * self.config.work_scale)
             graph.add_task(f"ckpt{t}", cm.checkpoint_write(volume),
-                           kind=TaskKind.CHECKPOINT, deps=update_parts)
+                           kind=TaskKind.CHECKPOINT, deps=update_parts,
+                           reads={f"seg:{v}[{c}]"
+                                  for v in ("x", "g")
+                                  for c in range(len(self._chunk_bounds))})
         return graph
 
     def _iteration_template(self) -> _IterationTemplate:
@@ -832,11 +863,16 @@ class ResilientCG:
         halo_name = f"halo{t}"
         graph.add_task(halo_name, 0.0, kind=TaskKind.COMMUNICATION,
                        deps=list(d_parts),
-                       action=lambda: engine.halo_exchange(d_cur))
+                       action=lambda: engine.halo_exchange(d_cur),
+                       reads={f"seg:d[{c}]"
+                              for c in range(len(self._chunk_bounds))},
+                       writes={"halo:d"})
         for c in range(len(self._chunk_bounds)):
             name = f"q{t}:{c}"
             if name in graph:
-                graph.task(name).depends_on(halo_name)
+                task = graph.task(name).depends_on(halo_name)
+                # the spmv consumes the freshly-exchanged halo values
+                task.reads = task.reads | {"halo:d"}
         if (self._uses_recovery_tasks()
                 and not self.strategy.recovery_in_critical_path
                 and f"r1_{t}" in graph):
@@ -854,12 +890,12 @@ class ResilientCG:
 
         def dot_chunk(u: np.ndarray, v: np.ndarray, sl: slice):
             def action(u=u, v=v, sl=sl) -> float:
-                return float(u[sl] @ v[sl])
+                return float(u[sl] @ v[sl])  # repro-lint: allow[paged-reduction] single-chunk dot; one page, order already fixed
             return action
 
         def touch_chunk(u: np.ndarray, sl: slice):
             def action(u=u, sl=sl) -> float:
-                return float(np.sum(u[sl]))
+                return float(np.sum(u[sl]))  # repro-lint: allow[paged-reduction] single-chunk touch probe; value discarded
             return action
 
         for c, (start, stop) in enumerate(self._chunk_bounds):

@@ -95,7 +95,7 @@ class TestExecutorEquivalence:
         pool = run_campaign(tiny_spec(),
                             executor=ProcessPoolExecutor(max_workers=2))
         assert pool.fingerprint() == serial_result.fingerprint()
-        for a, b in zip(pool.sorted_trials(), serial_result.sorted_trials()):
+        for a, b in zip(pool.sorted_trials(), serial_result.sorted_trials(), strict=True):
             assert a.solve_time == b.solve_time
             assert a.iterations == b.iterations
 

@@ -99,7 +99,7 @@ class TestCampaignSpec:
     def test_expand_is_deterministic(self):
         a = self.make_spec().expand()
         b = self.make_spec().expand()
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert ta.index == tb.index
             assert ta.method == tb.method
             assert ta.rate == tb.rate

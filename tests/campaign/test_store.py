@@ -146,7 +146,7 @@ class TestWarmCampaigns:
         assert warm.executed == 0
         assert warm.cache_hits == tiny_spec().num_trials
         assert warm.fingerprint() == cold.fingerprint()
-        for a, b in zip(warm.sorted_trials(), cold.sorted_trials()):
+        for a, b in zip(warm.sorted_trials(), cold.sorted_trials(), strict=True):
             assert a.solve_time == b.solve_time
             assert a.iterations == b.iterations
             assert a.final_residual == b.final_residual
@@ -233,3 +233,24 @@ class TestGc:
     def test_gc_rejects_negative_age(self, tmp_path):
         with pytest.raises(ValueError):
             CampaignStore(tmp_path / "store").gc(days=-1)
+
+    def test_gc_now_cli_override(self, tmp_path, capsys):
+        """`store --gc --now` pins the cutoff clock — no monkeypatching."""
+        from repro.campaign.__main__ import main_store
+
+        store = CampaignStore(tmp_path / "store")
+        store.put_scalar("aa" + "0" * 62, 7)
+        root = str(tmp_path / "store")
+        # From the perspective of "now" = one second from now, nothing
+        # is 30 days old yet.
+        rc = main_store(["--store", root, "--gc", "--days", "30",
+                         "--now", str(time.time() + 1.0)])
+        assert rc == 0
+        assert store.entry_count()["scalars"] == 1
+        # A "now" 31 days in the future ages everything out.
+        rc = main_store(["--store", root, "--gc", "--days", "30",
+                         "--now", str(time.time() + 31 * 86400.0)])
+        assert rc == 0
+        assert store.entry_count()["scalars"] == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out

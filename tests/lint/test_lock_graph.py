@@ -1,0 +1,151 @@
+"""Lock-graph extraction and cycle detection."""
+
+from repro.lint.engine import lint_source
+
+# the lock-graph pass only runs over the repo's coordination modules
+SERVER = "src/repro/service/server.py"
+
+
+def cycles(src):
+    return [f for f in lint_source(src, SERVER).active
+            if f.code == "lock-discipline" and "cycle" in f.message]
+
+
+class TestCycles:
+    def test_ab_ba_cycle_detected(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self.b:\n"
+            "            with self.a:\n"
+            "                pass\n")
+        found = cycles(src)
+        assert len(found) == 1
+        assert "S.a" in found[0].message and "S.b" in found[0].message
+        # both contributing edges are reported
+        assert any("one" in note for note in found[0].related)
+        assert any("two" in note for note in found[0].related)
+
+    def test_consistent_order_is_clean(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n")
+        assert cycles(src) == []
+
+    def test_cycle_through_method_call(self):
+        # one() holds a and calls helper(), which takes b; two() nests
+        # b -> a directly: the cycle spans a call edge.
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def helper(self):\n"
+            "        with self.b:\n"
+            "            pass\n"
+            "    def one(self):\n"
+            "        with self.a:\n"
+            "            self.helper()\n"
+            "    def two(self):\n"
+            "        with self.b:\n"
+            "            with self.a:\n"
+            "                pass\n")
+        found = cycles(src)
+        assert len(found) == 1
+
+    def test_three_lock_cycle(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.RLock()\n"
+            "        self.c = threading.Condition()\n"
+            "    def f(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self.b:\n"
+            "            with self.c:\n"
+            "                pass\n"
+            "    def h(self):\n"
+            "        with self.c:\n"
+            "            with self.a:\n"
+            "                pass\n")
+        found = cycles(src)
+        assert len(found) == 1
+        assert len(found[0].related) == 3
+
+    def test_dataclass_condition_field_is_a_lock(self):
+        src = (
+            "import threading\n"
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Job:\n"
+            "    cond: threading.Condition = field(default_factory=threading.Condition)\n"
+            "    def ping(self):\n"
+            "        with self.cond:\n"
+            "            pass\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.lk = threading.Lock()\n"
+            "    def one(self, job):\n"
+            "        with self.lk:\n"
+            "            with job.cond:\n"
+            "                pass\n"
+            "    def two(self, job):\n"
+            "        with job.cond:\n"
+            "            with self.lk:\n"
+            "                pass\n")
+        found = cycles(src)
+        assert len(found) == 1
+        assert "Job.cond" in found[0].message and "S.lk" in found[0].message
+
+    def test_same_attr_in_different_classes_not_merged(self):
+        # A._lock and B._lock are different objects: nesting A's inside
+        # B's in one place and the reverse in another is NOT a cycle.
+        src = (
+            "import threading\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "class B:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def g(self):\n"
+            "        with self._lock:\n"
+            "            pass\n")
+        assert cycles(src) == []
+
+    def test_repo_coordination_modules_have_no_cycles(self):
+        from pathlib import Path
+        from repro.lint.checkers.locks import LOCK_GRAPH_MODULES
+        root = Path(__file__).resolve().parents[2]
+        for module in LOCK_GRAPH_MODULES:
+            path = root / "src" / module
+            result = lint_source(path.read_text(), f"src/{module}")
+            assert [f for f in result.active if f.code == "lock-discipline"] == [], module

@@ -50,7 +50,7 @@ class TestPagedDot:
         whole = page_partials(u, v, psize)
         bounds = [0, 256, 512, 768, 1000]
         stitched = np.concatenate([page_partials(u[a:b], v[a:b], psize)
-                                   for a, b in zip(bounds, bounds[1:])])
+                                   for a, b in zip(bounds, bounds[1:], strict=False)])
         assert np.array_equal(whole, stitched)
 
     def test_reduce_partials_order_fixed(self):

@@ -164,7 +164,7 @@ class TestSchedulerInvariants:
             by_worker.setdefault(st_task.worker, []).append(st_task)
         for tasks in by_worker.values():
             tasks.sort(key=lambda s: s.start)
-            for first, second in zip(tasks, tasks[1:]):
+            for first, second in zip(tasks, tasks[1:], strict=False):
                 assert second.start >= first.end - 1e-9
 
     @given(workers=st.integers(1, 8))

@@ -43,7 +43,7 @@ class TestIdealSolver:
         res = ResilientCG(A, b, config=config()).solve()
         times = res.record.history.times
         assert times[0] == 0.0
-        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:], strict=False))
 
     def test_ideal_iteration_time_consistent_with_total(self, problem):
         A, b = problem
