@@ -9,6 +9,13 @@ placement (1-rank time / (N x N-rank time)).  Every cell's iterates are
 asserted bit-identical to the reference cell, so the bench doubles as
 an end-to-end invariant check.
 
+Each cell is also re-run with the concurrency sanitizer on
+(``repro.sanitize``, as if ``REPRO_TSAN=1``) and the on/off wall times
+land side by side in the JSON, so the sanitizer's observation cost is a
+tracked number rather than folklore.  With the sanitizer *off* the
+factories hand back raw stdlib primitives — the off-mode numbers here
+are the plain runtime cost.
+
 Emits ``BENCH_runtime.json``; CI uploads it as an artifact::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py --quick
@@ -29,9 +36,11 @@ from repro.core.manager import make_strategy
 from repro.faults.injector import Injection
 from repro.faults.scenarios import multi_error_scenario
 from repro.matrices.stencil import poisson_3d_27pt, stencil_rhs
+from repro.sanitize import enabled as tsan_enabled
+from repro.sanitize import instrument
 from repro.solvers.resilient_cg import ResilientCG, SolverConfig
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: The benchmarked cells: label -> (scheduler, placement, clock, ranks).
 CELLS = {
@@ -71,6 +80,16 @@ def run_cell(A, b, cell, page_size: int, tolerance: float):
     return result, elapsed
 
 
+def run_cell_sanitized(A, b, cell, page_size: int, tolerance: float):
+    """The same cell with the concurrency sanitizer observing."""
+    with tsan_enabled(True):
+        instrument.reset()
+        result, elapsed = run_cell(A, b, cell, page_size, tolerance)
+        events = len(instrument.LOG)
+        instrument.reset()
+    return result, elapsed, events
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the runtime cells' per-iteration wall time.")
@@ -107,6 +126,14 @@ def main(argv=None) -> int:
         elif key != reference:
             raise SystemExit(f"{label}: results diverged from the reference "
                              f"cell — the runtime invariant is broken")
+        tsan_result, tsan_elapsed, tsan_events = run_cell_sanitized(
+            A, b, cell, page_size, tolerance)
+        tsan_key = (tsan_result.x.tobytes(), tsan_result.record.iterations,
+                    tsan_result.record.solve_time)
+        if tsan_key != reference:
+            raise SystemExit(f"{label}: sanitizer-on run diverged from the "
+                             f"reference — instrumentation must observe, "
+                             f"never perturb")
         scheduler, placement, clock, ranks = cell
         payload["cells"][label] = {
             "scheduler": scheduler, "placement": placement,
@@ -114,6 +141,10 @@ def main(argv=None) -> int:
             "iterations": iters,
             "wall_seconds": round(elapsed, 4),
             "wall_seconds_per_iteration": round(elapsed / iters, 6),
+            "wall_seconds_sanitizer_on": round(tsan_elapsed, 4),
+            "sanitizer_overhead_pct": round(
+                100.0 * (tsan_elapsed - elapsed) / elapsed, 1),
+            "sanitizer_events": tsan_events,
             "measured_reenactment_seconds": round(result.wall_clock, 4),
             "halo_overlapped_recoveries": (result.window_summary or {}).get(
                 "halo_overlapped_recoveries", 0),
@@ -121,7 +152,8 @@ def main(argv=None) -> int:
         if placement == "ranks" and clock == "simulated":
             rank_seconds[ranks] = elapsed
         print(f"{label:24s} {elapsed:7.3f} s   "
-              f"{1e3 * elapsed / iters:8.3f} ms/iter   {iters} iters")
+              f"{1e3 * elapsed / iters:8.3f} ms/iter   {iters} iters   "
+              f"tsan {tsan_elapsed:7.3f} s ({tsan_events} events)")
 
     base = run_cell(A, b, ("list", "ranks", "simulated", 1),
                     page_size, tolerance)[1]

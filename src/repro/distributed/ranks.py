@@ -49,6 +49,7 @@ from repro.matrices.blocked import PageBlockedMatrix
 from repro.memory.pages import page_count
 from repro.runtime.kernels import (KernelEngine, page_partials,
                                    reduce_partials)
+from repro.sanitize import make_lock, make_queue
 
 
 @dataclass
@@ -127,7 +128,7 @@ class _RankState:
         #: reference only owned + halo columns, by halo construction).
         self.d_buf = np.zeros(n, dtype=np.float64)
         self.slab_matvec = slab_matvec
-        self.inbox: "queue.Queue" = queue.Queue()
+        self.inbox = make_queue(f"rank-inbox:{rank}")
 
 
 class RankRuntimeError(RuntimeError):
@@ -154,13 +155,13 @@ class RankRuntime:
         #: re-enactments and owner probes from different backend worker
         #: threads) never consume each other's replies.
         self._pending: Dict[int, "queue.Queue"] = {}
-        self._post_lock = threading.Lock()
+        self._post_lock = make_lock("RankRuntime.post_lock")
         #: Serialises collectives: the per-pair channels pair sends with
         #: receives positionally, so two collectives must never be in
         #: flight at once.
-        self._collective_lock = threading.Lock()
+        self._collective_lock = make_lock("RankRuntime.collective_lock")
         self._chan: Dict[Tuple[int, int], "queue.Queue"] = {
-            (src, dst): queue.Queue()
+            (src, dst): make_queue(f"rank-chan:{src}->{dst}")
             for src in range(self.num_ranks)
             for dst in range(self.num_ranks) if src != dst}
         self._states: List[_RankState] = []
@@ -217,7 +218,7 @@ class RankRuntime:
         with self._post_lock:
             self._seq += 1
             seq = self._seq
-            reply_queue: "queue.Queue" = queue.Queue()
+            reply_queue = make_queue(f"rank-reply:{seq}")
             self._pending[seq] = reply_queue
         try:
             for r in ranks:

@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print pragma-suppressed findings (human format)",
     )
+    parser.add_argument(
+        "--show-unused-pragmas",
+        action="store_true",
+        help="list allow[...] pragmas that no longer suppress any finding "
+        "and exit non-zero if any exist (CI keeps src/ free of them)",
+    )
     return parser
 
 
@@ -84,8 +90,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.format == "json":
         print(render_json(result))
     else:
-        print(render_human(result, show_suppressed=args.show_suppressed))
-    return 0 if result.ok else 1
+        print(render_human(result, show_suppressed=args.show_suppressed,
+                           show_unused_pragmas=args.show_unused_pragmas))
+    if not result.ok:
+        return 1
+    if args.show_unused_pragmas and result.unused_pragmas:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ from repro.lint.checkers.locks import LockChecker
 from repro.lint.checkers.ordering import OrderingChecker
 from repro.lint.checkers.reductions import ReductionChecker
 from repro.lint.checkers.rng import RngChecker
+from repro.lint.checkers.sanitize import SanitizeFactoryChecker
 from repro.lint.checkers.wall_clock import WallClockChecker
 
 ALL_CHECKERS: List[Checker] = [
@@ -17,6 +18,7 @@ ALL_CHECKERS: List[Checker] = [
     OrderingChecker(),
     ReductionChecker(),
     LockChecker(),
+    SanitizeFactoryChecker(),
 ]
 
 
@@ -33,6 +35,7 @@ __all__ = [
     "OrderingChecker",
     "ReductionChecker",
     "RngChecker",
+    "SanitizeFactoryChecker",
     "WallClockChecker",
     "checker_for_code",
 ]

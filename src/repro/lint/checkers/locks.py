@@ -33,6 +33,15 @@ LOCK_FACTORIES = frozenset(
         "threading.Condition",
         "threading.Semaphore",
         "threading.BoundedSemaphore",
+        # sanitizer-aware factories (repro.sanitize) — the threaded
+        # modules construct locks through these (the sanitizer-factory
+        # rule enforces it), and the lock-graph must keep seeing them.
+        "repro.sanitize.make_lock",
+        "repro.sanitize.make_rlock",
+        "repro.sanitize.make_condition",
+        "repro.sanitize.instrument.make_lock",
+        "repro.sanitize.instrument.make_rlock",
+        "repro.sanitize.instrument.make_condition",
     }
 )
 

@@ -22,6 +22,10 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: int = 0
+    #: ``allow[...]`` grants that suppressed nothing this run (stale
+    #: pragmas).  Tracked apart from ``findings`` so they do not affect
+    #: ``ok`` — the CLI's ``--show-unused-pragmas`` opts into failing.
+    unused_pragmas: List[Finding] = field(default_factory=list)
 
     @property
     def active(self) -> List[Finding]:
@@ -39,6 +43,7 @@ class LintResult:
         self.findings.extend(other.findings)
         self.files_checked += other.files_checked
         self.parse_errors += other.parse_errors
+        self.unused_pragmas.extend(other.unused_pragmas)
 
 
 def lint_source(
@@ -68,12 +73,20 @@ def lint_source(
         return result
 
     ctx = FileContext(path=path, source=source, tree=tree, imports=ImportMap.from_tree(tree))
+    ran = checkers if checkers is not None else ALL_CHECKERS
     raw: List[Finding] = []
-    for checker in checkers if checkers is not None else ALL_CHECKERS:
+    for checker in ran:
         raw.extend(checker.run(ctx))
     for finding in raw:
         reason = sheet.reason_for(finding.line, finding.code)
         result.findings.append(finding if reason is None else finding.suppress(reason))
+    result.unused_pragmas.extend(
+        sheet.unused_findings(
+            path,
+            ran_codes=frozenset(c.code for c in ran),
+            known_codes=frozenset(c.code for c in ALL_CHECKERS),
+        )
+    )
     result.findings.sort(key=Finding.sort_key)
     return result
 

@@ -30,21 +30,35 @@ _PRAGMA_RE = re.compile(
 
 # Findings with these codes cannot be pragma-suppressed: a broken pragma
 # or an unparseable file must always surface.
-UNSUPPRESSIBLE = frozenset({"pragma", "parse-error"})
+UNSUPPRESSIBLE = frozenset({"pragma", "parse-error", "unused-pragma"})
+
+
+class _PragmaEntry:
+    """One ``allow[code]`` grant: where it was written, where it applies,
+    and whether any finding ever consumed it."""
+
+    __slots__ = ("pragma_line", "col", "code", "reason", "used")
+
+    def __init__(self, pragma_line: int, col: int, code: str, reason: str):
+        self.pragma_line = pragma_line
+        self.col = col
+        self.code = code
+        self.reason = reason
+        self.used = False
 
 
 class PragmaSheet:
     """All ``repro-lint`` pragmas of one file, indexed by effective line."""
 
     def __init__(self) -> None:
-        # line -> code -> reason
-        self._by_line: Dict[int, Dict[str, str]] = {}
+        # effective line -> code -> grant
+        self._by_line: Dict[int, Dict[str, _PragmaEntry]] = {}
         self._errors: List[Tuple[int, int, str]] = []
 
     @classmethod
     def from_source(cls, source: str, path: str) -> "PragmaSheet":
         sheet = cls()
-        standalone: List[Tuple[int, Dict[str, str]]] = []
+        standalone: List[Tuple[int, List[_PragmaEntry]]] = []
         for line, col, text, is_standalone in _iter_comments(source):
             if PRAGMA_MARKER not in text:
                 continue
@@ -61,36 +75,69 @@ class PragmaSheet:
                 )
                 continue
             codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
-            entry = {code: reason for code in codes}
+            entries = [_PragmaEntry(line, col, code, reason) for code in sorted(codes)]
             if is_standalone:
-                standalone.append((line, entry))
+                standalone.append((line, entries))
             else:
-                sheet._merge(line, entry)
+                sheet._merge(line, entries)
         # A standalone pragma applies to the next line; stacked standalone
         # pragmas cascade so several can guard one statement.
         pragma_lines = {line for line, _ in standalone}
-        for line, entry in standalone:
+        for line, entries in standalone:
             target = line + 1
             while target in pragma_lines:
                 target += 1
-            sheet._merge(target, entry)
+            sheet._merge(target, entries)
         return sheet
 
-    def _merge(self, line: int, entry: Dict[str, str]) -> None:
-        self._by_line.setdefault(line, {}).update(entry)
+    def _merge(self, line: int, entries: List[_PragmaEntry]) -> None:
+        slot = self._by_line.setdefault(line, {})
+        for entry in entries:
+            slot[entry.code] = entry
 
     def reason_for(self, line: int, code: str) -> str | None:
         if code in UNSUPPRESSIBLE:
             return None
-        entry = self._by_line.get(line)
+        entry = self._by_line.get(line, {}).get(code)
         if entry is None:
             return None
-        return entry.get(code)
+        entry.used = True
+        return entry.reason
 
     def error_findings(self, path: str) -> List[Finding]:
         return [
             Finding(path=path, line=line, col=col, code="pragma", message=message)
             for line, col, message in self._errors
+        ]
+
+    def unused_findings(self, path: str, ran_codes: frozenset,
+                        known_codes: frozenset) -> List[Finding]:
+        """Pragmas that suppressed nothing this run, as findings.
+
+        Only grants whose rule actually ran are judged (a `wall-clock`
+        pragma is not stale just because the run was
+        `--select lock-discipline`); grants naming a code no checker has
+        ever had are always stale.
+        """
+        stale = [
+            entry
+            for slot in self._by_line.values()
+            for entry in slot.values()
+            if not entry.used
+            and (entry.code in ran_codes or entry.code not in known_codes)
+        ]
+        stale.sort(key=lambda e: (e.pragma_line, e.col, e.code))
+        return [
+            Finding(
+                path=path,
+                line=entry.pragma_line,
+                col=entry.col,
+                code="unused-pragma",
+                message=f"pragma `allow[{entry.code}]` suppresses nothing — the "
+                "finding it guarded is gone; delete the pragma (reason was: "
+                f"{entry.reason})",
+            )
+            for entry in stale
         ]
 
 

@@ -9,19 +9,24 @@ from repro.lint.checkers import ALL_CHECKERS
 from repro.lint.engine import LintResult
 
 
-def render_human(result: LintResult, *, show_suppressed: bool = False) -> str:
+def render_human(result: LintResult, *, show_suppressed: bool = False,
+                 show_unused_pragmas: bool = False) -> str:
     lines: List[str] = [f.format_human() for f in result.active]
     if show_suppressed:
         lines.extend(
             f"{f.format_human()}  (suppressed: {f.suppression_reason})"
             for f in result.suppressed
         )
+    if show_unused_pragmas:
+        lines.extend(f.format_human() for f in result.unused_pragmas)
     summary = (
         f"{len(result.active)} finding(s), {len(result.suppressed)} suppressed, "
         f"{result.files_checked} file(s) checked"
     )
     if result.parse_errors:
         summary += f", {result.parse_errors} parse error(s)"
+    if show_unused_pragmas:
+        summary += f", {len(result.unused_pragmas)} unused pragma(s)"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -32,6 +37,7 @@ def render_json(result: LintResult) -> str:
         "parse_errors": result.parse_errors,
         "findings": [f.to_json() for f in result.active],
         "suppressed": [f.to_json() for f in result.suppressed],
+        "unused_pragmas": [f.to_json() for f in result.unused_pragmas],
         "ok": result.ok,
     }
     return json.dumps(payload, sort_keys=True, indent=2)

@@ -44,20 +44,32 @@ from repro.runtime.backend import (ExecutionBackend, ExecutionResult,
                                    WallInterval)
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.graph import TaskGraph, maybe_verify_graph
+from repro.sanitize import (make_condition, make_lock,
+                            record_task_accesses, sanitizer_enabled)
 
 
 class PageLockTable:
-    """Lazily-created per-page locks for tasks that declare a page."""
+    """Lazily-created per-page locks for tasks that declare a page.
+
+    Concurrency contract: :meth:`lock_for` is the **single audited
+    access path** to the underlying table — creation and lookup both
+    happen under the guard, so two workers racing on a fresh page can
+    never observe (or create) two different locks for it.  Nothing else
+    may touch ``_locks``: an unguarded read would race the dict resize
+    a concurrent insert can trigger.  Enforced by the regression test
+    ``tests/sanitize/test_page_lock_table.py``.
+    """
 
     def __init__(self) -> None:
         self._locks: Dict[int, threading.Lock] = {}
-        self._guard = threading.Lock()
+        self._guard = make_lock("PageLockTable.guard")
 
     def lock_for(self, page: int) -> threading.Lock:
+        """The page's lock (created on first use, under the guard)."""
         with self._guard:
             lock = self._locks.get(page)
             if lock is None:
-                lock = self._locks[page] = threading.Lock()
+                lock = self._locks[page] = make_lock(f"page:{page}.lock")
             return lock
 
     @contextmanager
@@ -161,7 +173,7 @@ class VulnerableWindowMonitor:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("VulnerableWindowMonitor.lock")
         self.window_records: List[WindowRecord] = []
         self.due_records: List[DueRecord] = []
         self._summary = MonitorSummary()
@@ -283,12 +295,12 @@ class ThreadedBackend(ExecutionBackend):
         self.thread_count = resolve_worker_count(
             max_threads if max_threads is not None else num_workers)
         self.page_locks = PageLockTable()
-        self._cond = threading.Condition()
+        self._cond = make_condition(name="ThreadedBackend.cond")
         self._threads: List[threading.Thread] = []
         self._state: Optional[_RunState] = None
         self._shutdown = False
         #: Serialises whole-graph runs (one graph in flight at a time).
-        self._run_lock = threading.Lock()
+        self._run_lock = make_lock("ThreadedBackend.run_lock")
 
     def describe(self) -> str:
         return (f"{self.name}({self.num_workers} simulated workers, "
@@ -401,6 +413,14 @@ class ThreadedBackend(ExecutionBackend):
                     # The interval starts once the page lock is held, so
                     # lock-wait time is not mistaken for concurrent work.
                     began = time.perf_counter() - state.t0  # repro-lint: allow[wall-clock] measured task interval, reported not fingerprinted
+                    if sanitizer_enabled():
+                        # Bridge the task's declared resource sets into
+                        # dynamic accesses, from the thread that really
+                        # runs it and inside the page-lock critical
+                        # section so locksets include the page lock.
+                        record_task_accesses(task.reads,
+                                             task.resources_written(),
+                                             task=name)
                     try:
                         if task.action is not None:
                             value = task.action()

@@ -1,0 +1,104 @@
+"""The seeded-race canary: a bug the detector must always catch.
+
+A sanitizer that silently stops seeing races is worse than none, so CI
+runs this deliberately unsynchronised workload and fails unless the
+detector flags it.  Two flavours:
+
+* :func:`run_counter_canary` — the textbook bug: worker threads bump a
+  shared counter with no lock.  Accesses are recorded against the
+  declared resource ``canary:counter``; the threads synchronise only
+  through their start/join (not instrumented on purpose), so every
+  cross-thread pair is unordered *and* lockset-free -> a race.
+* :func:`run_locked_control` — the same workload with a factory-made
+  lock around the increment.  The detector must stay silent: the lock's
+  release->acquire edges order every pair.  Running both proves the
+  detector distinguishes, rather than flagging everything or nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+from repro.sanitize import detector, instrument
+from repro.sanitize.detector import SanitizerReport
+
+CANARY_RESOURCE = "canary:counter"
+
+
+class _Counter:
+    """Deliberately racy shared state (read-modify-write, no lock)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+def run_counter_canary(threads: int = 4, increments: int = 25
+                       ) -> SanitizerReport:
+    """Run the unsynchronised counter; returns the detection report."""
+    counter = _Counter()
+    barrier = threading.Barrier(threads)
+
+    def bump(worker: int) -> None:
+        barrier.wait()        # maximise overlap; not a recorded sync op
+        for _ in range(increments):
+            instrument.record_access(CANARY_RESOURCE, write=True,
+                                     task=f"canary-{worker}")
+            counter.value += 1
+
+    with instrument.enabled(True):
+        instrument.reset()
+        pool = [threading.Thread(target=bump, args=(i,),
+                                 name=f"canary-worker-{i}")
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        report = detector.analyze()
+        instrument.reset()
+    return report
+
+
+def run_locked_control(threads: int = 4, increments: int = 25
+                       ) -> SanitizerReport:
+    """Same workload, properly locked: the detector must stay silent."""
+    counter = _Counter()
+    barrier = threading.Barrier(threads)
+
+    with instrument.enabled(True):
+        instrument.reset()
+        lock = instrument.make_lock("canary-lock")
+
+        def bump(worker: int) -> None:
+            barrier.wait()
+            for _ in range(increments):
+                with lock:
+                    instrument.record_access(CANARY_RESOURCE, write=True,
+                                             task=f"canary-{worker}")
+                    counter.value += 1
+
+        pool = [threading.Thread(target=bump, args=(i,),
+                                 name=f"canary-worker-{i}")
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        report = detector.analyze()
+        instrument.reset()
+    return report
+
+
+def canary_verdict(threads: int = 4, increments: int = 25) -> List[str]:
+    """Human-readable verdict lines; empty means the canary FAILED."""
+    racy = run_counter_canary(threads, increments)
+    quiet = run_locked_control(threads, increments)
+    lines: List[str] = []
+    if racy.races:
+        lines.append(f"canary: unsynchronised counter flagged "
+                     f"({len(racy.races)} race(s)) — detector alive")
+    if quiet.ok:
+        lines.append("canary: locked control clean — detector "
+                     "distinguishes locked from racy")
+    return lines if (racy.races and quiet.ok) else []

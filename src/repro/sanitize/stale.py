@@ -1,0 +1,99 @@
+"""Stale-read allowlist: sanctioned data races on declared resources.
+
+The ROADMAP's asynchronous-iteration item will make *intentional* data
+races a feature: ranks iterating on stale halo pages, bounded-staleness
+fixed-point solvers (Avron et al.), convergence detection without an
+allreduce (Zou & Magoules).  The sanitizer must tell those annotated,
+bounded stale reads apart from unsynchronised bugs — this module is the
+machine-checked hook that future work targets.
+
+An allowance names a declared resource (exact, or a ``*`` suffix
+pattern such as ``halo:*``) plus a staleness bound (how many versions a
+reader may lag the writer) and a justification.  The detector treats a
+candidate race whose resource is allowed as *sanctioned*: reported in
+its own section with the declared bound, never as a failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class StaleAllowance:
+    """One sanctioned-staleness declaration."""
+
+    resource: str          # exact name or a "prefix*" pattern
+    bound: int             # versions a reader may lag (>= 1)
+    reason: str
+
+    def matches(self, resource: str) -> bool:
+        if self.resource.endswith("*"):
+            return resource.startswith(self.resource[:-1])
+        return resource == self.resource
+
+    def describe(self) -> str:
+        return (f"stale-read allowed on {self.resource!r} "
+                f"(bound {self.bound}): {self.reason}")
+
+
+class StaleReadAllowlist:
+    """Registry of sanctioned stale-read resources (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._allowances: Dict[str, StaleAllowance] = {}
+
+    def allow(self, resource: str, *, bound: int = 1,
+              reason: str) -> StaleAllowance:
+        """Declare that reads of ``resource`` may lag writes by up to
+        ``bound`` versions.  The reason is mandatory, mirroring the lint
+        pragma discipline: sanctioned races carry their justification."""
+        if bound < 1:
+            raise ValueError(f"staleness bound must be >= 1, got {bound}")
+        if not reason or not reason.strip():
+            raise ValueError("a stale-read allowance requires a reason")
+        allowance = StaleAllowance(resource, int(bound), reason.strip())
+        with self._lock:
+            self._allowances[resource] = allowance
+        return allowance
+
+    def revoke(self, resource: str) -> None:
+        with self._lock:
+            self._allowances.pop(resource, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._allowances.clear()
+
+    def lookup(self, resource: str) -> Optional[StaleAllowance]:
+        """The allowance covering ``resource``, or ``None``.  Exact
+        matches win over patterns; among patterns the longest prefix
+        wins (most specific declaration)."""
+        with self._lock:
+            allowances = list(self._allowances.values())
+        exact = [a for a in allowances if a.resource == resource]
+        if exact:
+            return exact[0]
+        patterns = [a for a in allowances if a.matches(resource)]
+        if not patterns:
+            return None
+        return max(patterns, key=lambda a: len(a.resource))
+
+    def entries(self) -> List[StaleAllowance]:
+        with self._lock:
+            return sorted(self._allowances.values(),
+                          key=lambda a: a.resource)
+
+
+#: Process-global allowlist the detector consults (tests use private
+#: instances; the solver-facing API registers here).
+ALLOWLIST = StaleReadAllowlist()
+
+
+def allow_stale(resource: str, *, bound: int = 1,
+                reason: str) -> StaleAllowance:
+    """Module-level convenience over the global allowlist."""
+    return ALLOWLIST.allow(resource, bound=bound, reason=reason)

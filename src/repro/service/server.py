@@ -40,7 +40,6 @@ import json
 import os
 import threading
 import time
-import queue
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
@@ -50,6 +49,8 @@ from repro.campaign.results import CampaignResult, TrialResult
 from repro.campaign.spec import CampaignSpec, TrialSpec
 from repro.campaign.store import CampaignStore
 from repro.config import resolve_worker_count
+from repro.sanitize import (make_condition, make_event, make_lock,
+                            make_queue, make_rlock)
 from repro.service.protocol import (PROTOCOL_VERSION, TERMINAL_STATES,
                                     ProtocolError, describe_states,
                                     event_line, job_status_payload,
@@ -102,7 +103,7 @@ class ChaosMonkey:
                              f"got {kill_after}")
         self.kill_after = kill_after
         self._fired = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("ChaosMonkey.lock")
 
     @classmethod
     def from_env(cls) -> Optional["ChaosMonkey"]:
@@ -157,7 +158,7 @@ class WarmCache:
         self._matrices: Dict[str, tuple] = {}
         self._baselines: Dict[str, float] = {}
         self._trials: Dict[str, TrialResult] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("WarmCache.lock")
         self.stats = {"matrices": _KindStats(), "baselines": _KindStats(),
                       "trials": _KindStats()}
 
@@ -251,8 +252,8 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    cancel_event: threading.Event = field(default_factory=threading.Event)
-    cond: threading.Condition = field(default_factory=threading.Condition)
+    cancel_event: threading.Event = field(default_factory=make_event)
+    cond: threading.Condition = field(default_factory=make_condition)
 
     @property
     def spec_key(self) -> str:
@@ -312,10 +313,11 @@ class CampaignService:
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._counter = 0
-        self._lock = threading.RLock()
-        self._drained = threading.Condition(self._lock)
-        self._job_queue: "queue.Queue[Optional[str]]" = queue.Queue()
-        self._shard_queue: "queue.Queue[Optional[_ShardTask]]" = queue.Queue()
+        self._lock = make_rlock("CampaignService.lock")
+        self._drained = make_condition(self._lock,
+                                       name="CampaignService.drained")
+        self._job_queue = make_queue("CampaignService.job_queue")
+        self._shard_queue = make_queue("CampaignService.shard_queue")
         self._threads: List[threading.Thread] = []
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._stopping = False

@@ -1,0 +1,117 @@
+"""The sanitizer-factory rule and the lock-graph's factory awareness."""
+
+from __future__ import annotations
+
+from repro.lint.checkers.locks import LOCK_FACTORIES
+from repro.lint.checkers.sanitize import THREADED_MODULES
+from repro.lint.engine import lint_source
+
+THREADED = "src/repro/service/server.py"
+ELSEWHERE = "src/repro/campaign/store.py"
+
+
+def codes(result):
+    return [f.code for f in result.active]
+
+
+class TestSanitizerFactoryRule:
+    def test_raw_lock_flagged_in_threaded_module(self):
+        src = "import threading\nlock = threading.Lock()\n"
+        assert "sanitizer-factory" in codes(lint_source(src, THREADED))
+
+    def test_raw_queue_flagged_in_threaded_module(self):
+        src = "import queue\nq = queue.Queue()\n"
+        assert "sanitizer-factory" in codes(lint_source(src, THREADED))
+
+    def test_all_threaded_modules_covered(self):
+        src = "import threading\ncond = threading.Condition()\n"
+        for module in THREADED_MODULES:
+            assert "sanitizer-factory" in codes(
+                lint_source(src, f"src/{module}")), module
+
+    def test_not_flagged_outside_threaded_modules(self):
+        src = "import threading\nlock = threading.Lock()\n"
+        assert "sanitizer-factory" not in codes(lint_source(src, ELSEWHERE))
+
+    def test_default_factory_kwarg_flagged(self):
+        src = (
+            "import threading\n"
+            "from dataclasses import dataclass, field\n"
+            "@dataclass\n"
+            "class Job:\n"
+            "    done: threading.Event = field(default_factory=threading.Event)\n"
+        )
+        assert "sanitizer-factory" in codes(lint_source(src, THREADED))
+
+    def test_factory_construction_is_clean(self):
+        src = (
+            "from repro.sanitize import make_condition, make_lock, make_queue\n"
+            "lock = make_lock('x')\n"
+            "cond = make_condition(name='y')\n"
+            "q = make_queue('z')\n"
+        )
+        assert "sanitizer-factory" not in codes(lint_source(src, THREADED))
+
+    def test_pragma_suppresses_with_reason(self):
+        src = (
+            "import threading\n"
+            "lock = threading.Lock()  # repro-lint: allow[sanitizer-factory] bootstrap lock for the sanitizer itself\n"
+        )
+        result = lint_source(src, THREADED)
+        assert "sanitizer-factory" not in codes(result)
+        assert any(f.code == "sanitizer-factory" for f in result.suppressed)
+
+    def test_import_alias_resolved(self):
+        src = "import threading as th\nlock = th.Lock()\n"
+        assert "sanitizer-factory" in codes(lint_source(src, THREADED))
+
+
+class TestLockGraphSeesFactories:
+    def test_lock_factories_include_sanitize(self):
+        assert "repro.sanitize.make_lock" in LOCK_FACTORIES
+        assert "repro.sanitize.make_rlock" in LOCK_FACTORIES
+        assert "repro.sanitize.make_condition" in LOCK_FACTORIES
+
+    def test_cycle_between_factory_made_locks_detected(self):
+        src = (
+            "from repro.sanitize import make_lock\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = make_lock('a')\n"
+            "        self.b = make_lock('b')\n"
+            "    def fwd(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def rev(self):\n"
+            "        with self.b:\n"
+            "            with self.a:\n"
+            "                pass\n"
+        )
+        result = lint_source(src, THREADED)
+        assert any(
+            f.code == "lock-discipline" and "cycle" in f.message
+            for f in result.active
+        ), [f.message for f in result.active]
+
+    def test_consistent_factory_lock_order_is_clean(self):
+        src = (
+            "from repro.sanitize import make_lock\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = make_lock('a')\n"
+            "        self.b = make_lock('b')\n"
+            "    def one(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+        )
+        result = lint_source(src, THREADED)
+        assert not any(
+            f.code == "lock-discipline" and "cycle" in f.message
+            for f in result.active
+        )
